@@ -1,0 +1,135 @@
+(* The benchmark harness: one target per table/figure of the paper plus
+   bechamel microbenchmarks of the real cryptography.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe table2a    -- one artifact
+     dune exec bench/main.exe micro      -- microbenchmarks only
+*)
+
+let seed = "bench"
+
+(* ---- bechamel microbenchmarks of the real implementations -------------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let rng = Crypto.Drbg.create ~seed:"bench-micro" in
+  let msg = Crypto.Drbg.generate rng 1024 in
+  let kyber = Pqc.Kyber.kyber768 in
+  let ky_pk, ky_sk = Pqc.Kyber.keygen kyber rng in
+  let ky_ct, _ = Pqc.Kyber.encaps kyber rng ky_pk in
+  let dil = Pqc.Dilithium.dilithium3 in
+  let dil_pk, dil_sk = Pqc.Dilithium.keygen dil rng in
+  let dil_sig = Pqc.Dilithium.sign dil dil_sk msg in
+  let x_scalar = Crypto.Drbg.generate rng 32 in
+  let x_point = Crypto.X25519.public_of_secret (Crypto.Drbg.generate rng 32) in
+  let gcm = Crypto.Aes_gcm.of_secret (Crypto.Drbg.generate rng 16) in
+  let nonce = Crypto.Drbg.generate rng 12 in
+  let cc_key = Crypto.Drbg.generate rng 32 in
+  let rsa = Crypto.Rsa_keys.fixed_key 2048 in
+  let rsa_sig = Crypto.Rsa.sign_pkcs1_sha256 rsa msg in
+  let stage name f = Test.make ~name (Staged.stage f) in
+  Test.make_grouped ~name:"pqtls" ~fmt:"%s/%s"
+    [ stage "sha256-1k" (fun () -> Crypto.Sha256.digest msg);
+      stage "sha3_256-1k" (fun () -> Crypto.Keccak.sha3_256 msg);
+      stage "shake128-1k" (fun () -> Crypto.Keccak.shake128 msg 32);
+      stage "hmac-sha256" (fun () -> Crypto.Hmac.hmac Crypto.Hmac.sha256 ~key:"k" msg);
+      stage "aes128gcm-seal-1k" (fun () -> Crypto.Aes_gcm.seal gcm ~nonce ~ad:"" msg);
+      stage "chacha20poly1305-1k" (fun () ->
+          Crypto.Chacha20poly1305.seal ~key:cc_key ~nonce ~ad:"" msg);
+      stage "x25519" (fun () ->
+          Crypto.X25519.scalar_mult ~scalar:x_scalar ~point:x_point);
+      stage "kyber768-encaps" (fun () -> Pqc.Kyber.encaps kyber rng ky_pk);
+      stage "kyber768-decaps" (fun () -> Pqc.Kyber.decaps kyber ky_sk ky_ct);
+      stage "dilithium3-sign" (fun () -> Pqc.Dilithium.sign dil dil_sk msg);
+      stage "dilithium3-verify" (fun () ->
+          Pqc.Dilithium.verify dil dil_pk ~msg dil_sig);
+      stage "rsa2048-verify" (fun () ->
+          Crypto.Rsa.verify_pkcs1_sha256 rsa.Crypto.Rsa.pub ~msg rsa_sig);
+      stage "handshake-sim-kyber768-dilithium3" (fun () ->
+          let engine = Netsim.Engine.create () in
+          let rng = Crypto.Drbg.create ~seed:"bench-hs" in
+          let link =
+            Netsim.Link.create engine (Crypto.Drbg.fork rng "l")
+              Netsim.Link.ideal ~tap:(fun _ _ -> ())
+          in
+          let ch = Netsim.Host.create engine ~name:"client" in
+          let sh = Netsim.Host.create engine ~name:"server" in
+          let config =
+            Tls.Config.mocked (Pqc.Registry.find_kem "kyber768")
+              (Pqc.Registry.find_sig "dilithium3")
+          in
+          let ok = ref false in
+          Tls.Handshake.run ~engine ~link
+            ~tcp_config:Netsim.Tcp.default_config ~client_host:ch
+            ~server_host:sh ~config ~rng ~on_done:(fun _ -> ok := true);
+          Netsim.Engine.run engine;
+          assert !ok) ]
+
+let run_micro () =
+  let open Bechamel in
+  print_endline "Microbenchmarks (host time of the real implementations)";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw =
+    Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] (micro_tests ())
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> e
+          | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns) ->
+      if ns >= 1e6 then Printf.printf "  %-40s %10.3f ms/op\n" name (ns /. 1e6)
+      else Printf.printf "  %-40s %10.1f us/op\n" name (ns /. 1e3))
+    rows;
+  print_newline ()
+
+(* ---- table/figure targets ------------------------------------------------ *)
+
+let targets : (string * (unit -> unit)) list =
+  [ ("table2a", fun () -> print_string (Core.Report.table2a ~seed ()));
+    ("table2b", fun () -> print_string (Core.Report.table2b ~seed ()));
+    ("figure3", fun () -> print_string (Core.Report.figure3 ~seed ()));
+    ("table3", fun () -> print_string (Core.Report.table3 ~seed ()));
+    ("table4a", fun () -> print_string (Core.Report.table4a ~seed ()));
+    ("table4b", fun () -> print_string (Core.Report.table4b ~seed ()));
+    ("figure4", fun () -> print_string (Core.Report.figure4 ~seed ()));
+    ("attack", fun () -> print_string (Core.Report.attack ~seed ()));
+    ( "ablation",
+      fun () ->
+        print_string (Core.Report.ablation_buffer ~seed ());
+        print_string (Core.Report.ablation_cwnd ~seed ());
+        print_string (Core.Report.ablation_hrr ~seed ()) );
+    ("micro", run_micro) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst targets
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name targets with
+      | Some f ->
+        Printf.printf "==> %s\n%!" name;
+        let t0 = Sys.time () in
+        f ();
+        Printf.printf "    (%s finished in %.1f s host CPU)\n\n%!" name
+          (Sys.time () -. t0)
+      | None ->
+        Printf.eprintf "unknown target %s; available: %s\n" name
+          (String.concat " " (List.map fst targets));
+        exit 1)
+    requested

@@ -1,0 +1,210 @@
+(* Command-line driver mirroring the paper's experiment.py (Appendix B):
+
+     pqtls-bench list
+     pqtls-bench run all-kem all-sig -o out/
+     pqtls-bench handshake --kem kyber768 --sig dilithium3 --scenario lte-m
+     pqtls-bench algorithms
+*)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Deterministic seed for the whole campaign." in
+  Arg.(value & opt string "pqtls" & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* ---- list ---------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun name -> Printf.printf "%-22s %s\n" name (Core.Catalog.describe name))
+      Core.Catalog.names
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available experiments (Appendix B.6 schema).")
+    Term.(const run $ const ())
+
+(* ---- run ----------------------------------------------------------------- *)
+
+let run_cmd =
+  let experiments =
+    let doc = "Experiments to run (see $(b,list))." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let out_dir =
+    let doc = "Write each experiment's report to $(docv)/<name>.txt instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"DIR" ~doc)
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ]
+           ~doc:"Also emit latencies CSVs for all-kem / all-sig (needs -o).")
+  in
+  let run seed out_dir csv experiments =
+    List.iter
+      (fun name ->
+        let report =
+          try Core.Catalog.run ~seed name
+          with Invalid_argument m ->
+            Printf.eprintf "error: %s\n" m;
+            exit 1
+        in
+        match out_dir with
+        | None -> print_string report
+        | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let write path contents =
+            let oc = open_out path in
+            output_string oc contents;
+            close_out oc;
+            Printf.printf "wrote %s\n%!" path
+          in
+          write (Filename.concat dir (name ^ ".txt")) report;
+          if csv then begin
+            match name with
+            | "all-kem" ->
+              write (Filename.concat dir "all-kem-latencies.csv")
+                (Core.Report.table2a_csv ~seed ())
+            | "all-sig" ->
+              write (Filename.concat dir "all-sig-latencies.csv")
+                (Core.Report.table2b_csv ~seed ())
+            | _ -> ()
+          end)
+      experiments
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run named experiments (60 virtual seconds per configuration).")
+    Term.(const run $ seed_arg $ out_dir $ csv $ experiments)
+
+(* ---- handshake ------------------------------------------------------------ *)
+
+let handshake_cmd =
+  let kem_arg =
+    Arg.(value & opt string "kyber768" & info [ "kem" ] ~docv:"KA"
+           ~doc:"Key agreement (paper spelling, e.g. p256_kyber512).")
+  in
+  let sig_arg =
+    Arg.(value & opt string "dilithium3" & info [ "sig" ] ~docv:"SA"
+           ~doc:"Signature algorithm (e.g. rsa:2048, p384_dilithium3).")
+  in
+  let scenario_arg =
+    Arg.(value & opt string "none" & info [ "scenario" ] ~docv:"SC"
+           ~doc:"Network scenario: none, loss, bandwidth, delay, lte-m, 5g.")
+  in
+  let real_arg =
+    Arg.(value & flag & info [ "real" ]
+           ~doc:"Run the real cryptography instead of the size-exact mocks.")
+  in
+  let default_buffering_arg =
+    Arg.(value & flag & info [ "default-buffering" ]
+           ~doc:"Use OpenSSL's stock flight buffering instead of the optimized push.")
+  in
+  let pcap_arg =
+    Arg.(value & opt (some string) None & info [ "pcap" ] ~docv:"FILE"
+           ~doc:"Also capture a single handshake to a pcap file (opens in Wireshark).")
+  in
+  let run seed kem_name sig_name scenario_name real default_buffering pcap =
+    let kem =
+      try Pqc.Registry.find_kem kem_name
+      with Not_found ->
+        Printf.eprintf "unknown KA %s\n" kem_name;
+        exit 1
+    in
+    let sig_alg =
+      try Pqc.Registry.find_sig sig_name
+      with Not_found ->
+        Printf.eprintf "unknown SA %s\n" sig_name;
+        exit 1
+    in
+    let scenario = Core.Scenario.find scenario_name in
+    let buffering =
+      if default_buffering then Tls.Config.Default_buffered
+      else Tls.Config.Optimized_push
+    in
+    let o =
+      Core.Experiment.run ~seed ~scenario ~buffering ~real_crypto:real kem
+        sig_alg
+    in
+    let m f = Core.Experiment.median_of f o in
+    Printf.printf
+      "%s x %s under %s (%s crypto, %s buffering)\n\
+      \  CH->SH            %8.3f ms\n\
+      \  SH->ClientFin     %8.3f ms\n\
+      \  total             %8.3f ms\n\
+      \  handshakes / 60s  %8d\n\
+      \  client sent       %8d B   server sent %8d B\n\
+      \  CPU / handshake   client %.2f ms, server %.2f ms\n"
+      kem_name sig_name scenario.Core.Scenario.label
+      (if real then "real" else "mocked")
+      (if default_buffering then "default" else "optimized")
+      (m (fun s -> s.Core.Experiment.part_a_ms))
+      (m (fun s -> s.Core.Experiment.part_b_ms))
+      (m (fun s -> s.Core.Experiment.total_ms))
+      o.Core.Experiment.handshakes_per_minute
+      (Core.Experiment.median_bytes (fun s -> s.Core.Experiment.client_bytes) o)
+      (Core.Experiment.median_bytes (fun s -> s.Core.Experiment.server_bytes) o)
+      o.Core.Experiment.client_cpu_ms o.Core.Experiment.server_cpu_ms;
+    List.iter
+      (fun (lib, share) ->
+        if share >= 0.005 then
+          Printf.printf "    server %-10s %4.0f%%\n" lib (100. *. share))
+      o.Core.Experiment.server_ledger;
+    match pcap with
+    | None -> ()
+    | Some path ->
+      (* re-run a single handshake with a fresh tap and dump it *)
+      let engine = Netsim.Engine.create () in
+      let trace = Netsim.Trace.create () in
+      let rng = Crypto.Drbg.create ~seed:(seed ^ "/pcap") in
+      let link =
+        Netsim.Link.create engine (Crypto.Drbg.fork rng "link")
+          scenario.Core.Scenario.netem
+          ~tap:(fun t p -> Netsim.Trace.tap trace t p)
+      in
+      let ch = Netsim.Host.create engine ~name:"client" in
+      let sh = Netsim.Host.create engine ~name:"server" in
+      let config =
+        (if real then Tls.Config.make else Tls.Config.mocked) ~buffering kem
+          sig_alg
+      in
+      Tls.Handshake.run ~engine ~link ~tcp_config:Netsim.Tcp.default_config
+        ~client_host:ch ~server_host:sh ~config ~rng ~on_done:(fun _ -> ());
+      Netsim.Engine.run engine;
+      Netsim.Pcap.write_file path trace;
+      Printf.printf "wrote %s (%d packets)\n" path (Netsim.Trace.length trace)
+  in
+  Cmd.v
+    (Cmd.info "handshake"
+       ~doc:"Measure one KA x SA pair and print the full breakdown.")
+    Term.(
+      const run $ seed_arg $ kem_arg $ sig_arg $ scenario_arg $ real_arg
+      $ default_buffering_arg $ pcap_arg)
+
+(* ---- algorithms ------------------------------------------------------------ *)
+
+let algorithms_cmd =
+  let run () =
+    Printf.printf "Key agreements (%d):\n" (List.length Pqc.Registry.kems);
+    List.iter
+      (fun (k : Pqc.Kem.t) ->
+        Printf.printf "  L%d %-18s pk %6d B  ct %6d B%s\n" k.level k.name
+          k.public_key_bytes k.ciphertext_bytes
+          (if k.hybrid then "  (hybrid)" else ""))
+      Pqc.Registry.kems;
+    Printf.printf "Signature algorithms (%d):\n" (List.length Pqc.Registry.sigs);
+    List.iter
+      (fun (s : Pqc.Sigalg.t) ->
+        Printf.printf "  L%d %-18s pk %6d B  sig %6d B%s\n" s.level s.name
+          s.public_key_bytes s.signature_bytes
+          (if s.hybrid then "  (hybrid)" else ""))
+      Pqc.Registry.sigs
+  in
+  Cmd.v
+    (Cmd.info "algorithms" ~doc:"List every algorithm with its wire sizes.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "pqtls-bench"
+      ~doc:"Reproduction harness for `The Performance of Post-Quantum TLS 1.3'"
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; handshake_cmd; algorithms_cmd ]))

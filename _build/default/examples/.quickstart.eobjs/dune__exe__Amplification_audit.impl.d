@@ -1,0 +1,1 @@
+examples/amplification_audit.ml: Amplification Core List Printf String

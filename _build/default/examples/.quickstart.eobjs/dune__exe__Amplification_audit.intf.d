@@ -1,0 +1,1 @@
+examples/amplification_audit.mli:

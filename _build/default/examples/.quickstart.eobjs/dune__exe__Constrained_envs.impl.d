@@ -1,0 +1,1 @@
+examples/constrained_envs.ml: Core Experiment List Pqc Printf Scenario String

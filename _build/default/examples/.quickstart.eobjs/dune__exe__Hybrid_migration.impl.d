@@ -1,0 +1,1 @@
+examples/hybrid_migration.ml: Core Experiment List Pqc Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Crypto List Netsim Option Pqc Printf Tls

@@ -1,0 +1,1 @@
+lib/core/amplification.ml: Experiment Float List Pqc Stats Whitebox

@@ -1,0 +1,1 @@
+lib/core/catalog.ml: Buffer Deviation Experiment Float List Pqc Printf Report Stats Tls Whitebox

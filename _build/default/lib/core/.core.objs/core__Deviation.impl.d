@@ -1,0 +1,1 @@
+lib/core/deviation.ml: Experiment List Pqc Tls

@@ -1,0 +1,1 @@
+lib/core/deviation.mli: Tls

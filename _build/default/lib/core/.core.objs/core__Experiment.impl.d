@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Crypto List Netsim Pqc Printf Scenario Stats Tls

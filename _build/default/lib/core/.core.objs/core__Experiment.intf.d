@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Netsim Pqc Scenario Tls

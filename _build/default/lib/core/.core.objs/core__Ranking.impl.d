@@ -1,0 +1,1 @@
+lib/core/ranking.ml: Experiment Float List Stats

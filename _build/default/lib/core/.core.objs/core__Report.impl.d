@@ -1,0 +1,1 @@
+lib/core/report.ml: Amplification Buffer Deviation Experiment Float List Netsim Option Paper_data Pqc Printf Ranking Scenario Stats String Tls Whitebox

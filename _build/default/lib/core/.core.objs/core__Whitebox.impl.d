@@ -1,0 +1,1 @@
+lib/core/whitebox.ml: Experiment List Pqc Stats

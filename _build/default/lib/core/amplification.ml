@@ -1,0 +1,42 @@
+type row = {
+  kem : string;
+  sa : string;
+  cpu_ratio : float;
+  amplification : float;
+}
+
+let quic_limit = 3.0
+
+let measure ?(seed = "attack") kem sa =
+  let o = Experiment.run ~seed kem sa in
+  let med f = Stats.median_int (List.map f o.Experiment.samples) in
+  { kem = kem.Pqc.Kem.name;
+    sa = sa.Pqc.Sigalg.name;
+    cpu_ratio = o.Experiment.server_cpu_ms /. o.Experiment.client_cpu_ms;
+    amplification =
+      med (fun s -> s.Experiment.server_bytes)
+      /. med (fun s -> s.Experiment.client_bytes) }
+
+let survey ?seed () =
+  let sa_rows =
+    List.map
+      (fun sa -> measure ?seed Pqc.Registry.baseline_kem sa)
+      Pqc.Registry.sigs
+  in
+  let pair_rows =
+    List.map
+      (fun (_, k, s) ->
+        measure ?seed (Pqc.Registry.find_kem k) (Pqc.Registry.find_sig s))
+      Whitebox.paper_pairs
+  in
+  List.sort
+    (fun a b -> Float.compare b.amplification a.amplification)
+    (sa_rows @ pair_rows)
+
+let worst_by f = function
+  | [] -> invalid_arg "Amplification: empty survey"
+  | hd :: tl ->
+    List.fold_left (fun best r -> if f r > f best then r else best) hd tl
+
+let worst_amplification rows = worst_by (fun r -> r.amplification) rows
+let worst_cpu_ratio rows = worst_by (fun r -> r.cpu_ratio) rows

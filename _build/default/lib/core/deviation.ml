@@ -1,0 +1,61 @@
+type cell = {
+  kem : string;
+  sa : string;
+  measured_ms : float;
+  expected_ms : float;
+  deviation_ms : float;
+}
+
+type grid = {
+  level : int;
+  buffering : Tls.Config.buffering;
+  cells : cell list;
+}
+
+let total outcome = Experiment.median_of (fun s -> s.Experiment.total_ms) outcome
+
+let analyze ?(buffering = Tls.Config.Optimized_push) ?(seed = "deviation") level =
+  let kems = Pqc.Registry.level_group level `Kem in
+  let sigs = Pqc.Registry.level_group_sigs level in
+  let baseline_kem = Pqc.Registry.baseline_kem in
+  let baseline_sig = Pqc.Registry.baseline_sig in
+  let measure k s = total (Experiment.run ~buffering ~seed k s) in
+  let m_base = measure baseline_kem baseline_sig in
+  let m_kem =
+    List.map (fun k -> (k.Pqc.Kem.name, measure k baseline_sig)) kems
+  in
+  let m_sig =
+    List.map (fun s -> (s.Pqc.Sigalg.name, measure baseline_kem s)) sigs
+  in
+  let cells =
+    List.concat_map
+      (fun k ->
+        List.map
+          (fun s ->
+            let measured = measure k s in
+            let expected =
+              List.assoc k.Pqc.Kem.name m_kem
+              +. List.assoc s.Pqc.Sigalg.name m_sig
+              -. m_base
+            in
+            { kem = k.Pqc.Kem.name;
+              sa = s.Pqc.Sigalg.name;
+              measured_ms = measured;
+              expected_ms = expected;
+              deviation_ms = expected -. measured })
+          sigs)
+      kems
+  in
+  { level; buffering; cells }
+
+let improvement ~optimized ~default =
+  List.filter_map
+    (fun c ->
+      match
+        List.find_opt
+          (fun d -> d.kem = c.kem && d.sa = c.sa)
+          default.cells
+      with
+      | Some d -> Some (c.kem, c.sa, d.measured_ms -. c.measured_ms)
+      | None -> None)
+    optimized.cells

@@ -1,0 +1,31 @@
+(** The KA/SA-independence analysis of section 5.2 / Figure 3.
+
+    If KA and SA contributed latency independently, the handshake latency
+    of any pair would be predicted by
+    [E(k,s) = M(k, rsa2048) + M(x25519, s) - M(x25519, rsa2048)].
+    This module measures every same-level (non-hybrid) combination and
+    reports the deviation [E - M]: positive means faster than predicted. *)
+
+type cell = {
+  kem : string;
+  sa : string;
+  measured_ms : float;  (** median full-handshake latency *)
+  expected_ms : float;
+  deviation_ms : float;  (** expected - measured *)
+}
+
+type grid = {
+  level : int;
+  buffering : Tls.Config.buffering;
+  cells : cell list;
+}
+
+val analyze :
+  ?buffering:Tls.Config.buffering -> ?seed:string -> int -> grid
+(** [analyze level] runs the full level-group campaign (the paper's
+    [level1]/[level3]/[level5] experiments; [level1-nopush] etc. with
+    [~buffering:Default_buffered]). *)
+
+val improvement : optimized:grid -> default:grid -> (string * string * float) list
+(** Figure 3c: per-combination latency gain of the optimized push,
+    [default_measured - optimized_measured] in ms. *)

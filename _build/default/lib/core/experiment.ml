@@ -1,0 +1,146 @@
+type sample = {
+  part_a_ms : float;
+  part_b_ms : float;
+  total_ms : float;
+  iteration_ms : float;
+  client_bytes : int;
+  server_bytes : int;
+  client_pkts : int;
+  server_pkts : int;
+  retransmissions : int;
+}
+
+type outcome = {
+  kem_name : string;
+  sig_name : string;
+  scenario_name : string;
+  buffering : Tls.Config.buffering;
+  samples : sample list;
+  handshakes_per_minute : int;
+  client_cpu_ms : float;
+  server_cpu_ms : float;
+  client_ledger : (string * float) list;
+  server_ledger : (string * float) list;
+}
+
+(* the measurement loop itself burns some client/server CPU between
+   handshakes (python tooling, socket teardown); shows up in Table 3 *)
+let harness_python_ms = 0.45
+let harness_libc_ms = 0.12
+
+let mark_time ?after trace label =
+  match Netsim.Trace.find_mark trace ?after label with
+  | Some e -> e.Netsim.Trace.time
+  | None -> nan
+
+let normalize_ledger ledger =
+  let total = List.fold_left (fun acc (_, ms) -> acc +. ms) 0. ledger in
+  if total <= 0. then []
+  else List.map (fun (lib, ms) -> (lib, ms /. total)) ledger
+
+let run ?(buffering = Tls.Config.Optimized_push) ?(scenario = Scenario.no_emulation)
+    ?(duration_s = 60.) ?max_samples ?(seed = "pqtls") ?(real_crypto = false)
+    ?(tcp_config = Netsim.Tcp.default_config) ?(buffer_limit = 4096)
+    ?(wrong_key_share = false) kem sig_alg =
+  (* loss-free runs are deterministic, so a handful of iterations pins the
+     medians; lossy runs need a population for a stable median *)
+  let max_samples =
+    match max_samples with
+    | Some n -> n
+    | None -> if scenario.Scenario.netem.Netsim.Link.loss = 0. then 40 else 200
+  in
+  let engine = Netsim.Engine.create () in
+  let root_rng =
+    Crypto.Drbg.create
+      ~seed:
+        (Printf.sprintf "%s/%s/%s/%s/%b" seed kem.Pqc.Kem.name
+           sig_alg.Pqc.Sigalg.name scenario.Scenario.name
+           (buffering = Tls.Config.Optimized_push))
+  in
+  let trace = Netsim.Trace.create () in
+  let link =
+    Netsim.Link.create engine (Crypto.Drbg.fork root_rng "link")
+      scenario.Scenario.netem ~tap:(fun time p -> Netsim.Trace.tap trace time p)
+  in
+  let client_host = Netsim.Host.create engine ~name:"client" in
+  let server_host = Netsim.Host.create engine ~name:"server" in
+  let config =
+    (if real_crypto then Tls.Config.make else Tls.Config.mocked) ~buffering
+      ~buffer_limit ~wrong_first_key_share:wrong_key_share kem sig_alg
+  in
+  let samples = ref [] in
+  let count = ref 0 in
+  let rec iteration () =
+    if Netsim.Engine.now engine < duration_s && !count < max_samples then begin
+      Netsim.Trace.clear trace;
+      let started = Netsim.Engine.now engine in
+      (* per-connection kernel setup (accept/socket) on the server *)
+      Netsim.Host.charge_async server_host
+        ~ms:Pqc.Costs.connection_setup.Pqc.Costs.ms ~lib:"kernel";
+      let rng = Crypto.Drbg.fork root_rng (string_of_int !count) in
+      Tls.Handshake.run ~engine ~link ~tcp_config ~client_host ~server_host
+        ~config ~rng ~on_done:(fun r ->
+          (* chained lookups: stale retransmissions from the previous
+             connection may still be in flight when the trace restarts *)
+          let t_ch = mark_time trace "CH" in
+          let t_sh = mark_time trace ~after:t_ch "SH" in
+          let t_fin = mark_time trace ~after:t_sh "FIN_C" in
+          let finished = Netsim.Engine.now engine in
+          (* measurement-loop overhead between iterations *)
+          Netsim.Host.charge_async client_host ~ms:harness_python_ms ~lib:"python";
+          Netsim.Host.charge_async server_host ~ms:harness_python_ms ~lib:"python";
+          Netsim.Host.charge_async client_host ~ms:harness_libc_ms ~lib:"libc";
+          Netsim.Host.charge_async server_host ~ms:harness_libc_ms ~lib:"libc";
+          Netsim.Host.charge_async client_host ~ms:0.06 ~lib:"ixgbe";
+          Netsim.Host.charge_async server_host ~ms:0.06 ~lib:"ixgbe";
+          let gap = Pqc.Costs.harness_gap_ms /. 1000. in
+          let sample =
+            { part_a_ms = (t_sh -. t_ch) *. 1000.;
+              part_b_ms = (t_fin -. t_sh) *. 1000.;
+              total_ms = (t_fin -. t_ch) *. 1000.;
+              iteration_ms = (finished -. started +. gap) *. 1000.;
+              client_bytes = Netsim.Tcp.bytes_sent r.Tls.Handshake.client_tcp;
+              server_bytes = Netsim.Tcp.bytes_sent r.Tls.Handshake.server_tcp;
+              client_pkts = Netsim.Tcp.packets_sent r.Tls.Handshake.client_tcp;
+              server_pkts = Netsim.Tcp.packets_sent r.Tls.Handshake.server_tcp;
+              retransmissions =
+                Netsim.Tcp.retransmissions r.Tls.Handshake.client_tcp
+                + Netsim.Tcp.retransmissions r.Tls.Handshake.server_tcp }
+          in
+          samples := sample :: !samples;
+          incr count;
+          Netsim.Tcp.close r.Tls.Handshake.client_tcp;
+          Netsim.Tcp.close r.Tls.Handshake.server_tcp;
+          Netsim.Engine.schedule engine ~delay:gap iteration)
+    end
+  in
+  iteration ();
+  Netsim.Engine.run engine ~until:(duration_s +. 120.);
+  let samples = List.rev !samples in
+  if samples = [] then
+    invalid_arg
+      (Printf.sprintf "Experiment.run: no handshake completed for %s x %s"
+         kem.Pqc.Kem.name sig_alg.Pqc.Sigalg.name);
+  let mean_iter =
+    Stats.mean (List.map (fun s -> s.iteration_ms) samples) /. 1000.
+  in
+  let per_minute =
+    if !count >= max_samples then int_of_float (duration_s /. mean_iter)
+    else !count
+  in
+  let n = float_of_int !count in
+  { kem_name = kem.Pqc.Kem.name;
+    sig_name = sig_alg.Pqc.Sigalg.name;
+    scenario_name = scenario.Scenario.name;
+    buffering;
+    samples;
+    handshakes_per_minute = per_minute;
+    client_cpu_ms = Netsim.Host.total_cpu_ms client_host /. n;
+    server_cpu_ms = Netsim.Host.total_cpu_ms server_host /. n;
+    client_ledger = normalize_ledger (Netsim.Host.ledger client_host);
+    server_ledger = normalize_ledger (Netsim.Host.ledger server_host) }
+
+let median_of f outcome = Stats.median (List.map f outcome.samples)
+
+let median_bytes f outcome =
+  int_of_float (Stats.median_int (List.map f outcome.samples))

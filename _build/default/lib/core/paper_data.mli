@@ -1,0 +1,36 @@
+(** The paper's published numbers (Tables 2 and 4), embedded for
+    side-by-side comparison in reports, EXPERIMENTS.md and the
+    calibration tests. *)
+
+type t2_row = {
+  alg : string;
+  part_a : float;  (** ms *)
+  part_b : float;
+  total_k : float;  (** thousands of handshakes per 60 s *)
+  client_b : int;
+  server_b : int;
+}
+
+val table2a : t2_row list
+(** KAs paired with rsa:2048. *)
+
+val table2b : t2_row list
+(** SAs paired with x25519. *)
+
+val find2a : string -> t2_row option
+val find2b : string -> t2_row option
+
+type t4_row = {
+  t4_alg : string;
+  none : float;
+  loss : float;
+  bandwidth : float;
+  delay : float;
+  lte_m : float;
+  five_g : float;
+}
+
+val table4a : t4_row list
+val table4b : t4_row list
+val find4a : string -> t4_row option
+val find4b : string -> t4_row option

@@ -1,0 +1,416 @@
+let buf_table title header rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (title ^ "\n");
+  Buffer.add_string b (header ^ "\n");
+  Buffer.add_string b (String.make (String.length header) '-' ^ "\n");
+  List.iter (fun r -> Buffer.add_string b (r ^ "\n")) rows;
+  Buffer.contents b
+
+let fmt_paper v = if Float.is_nan v then "   -  " else Printf.sprintf "%6.2f" v
+
+let part_a o = Experiment.median_of (fun s -> s.Experiment.part_a_ms) o
+let part_b o = Experiment.median_of (fun s -> s.Experiment.part_b_ms) o
+let total o = Experiment.median_of (fun s -> s.Experiment.total_ms) o
+let cbytes o = Experiment.median_bytes (fun s -> s.Experiment.client_bytes) o
+let sbytes o = Experiment.median_bytes (fun s -> s.Experiment.server_bytes) o
+
+(* ---- Table 2 ------------------------------------------------------------ *)
+
+type t2_data = {
+  t2_name : string;
+  t2_pa : float;
+  t2_pb : float;
+  t2_count : int;
+  t2_cb : int;
+  t2_sb : int;
+  t2_paper : (float * float * float * int * int) option;
+}
+
+let table2_data ?seed which =
+  let algs, run, find =
+    match which with
+    | `A ->
+      ( List.map (fun (k : Pqc.Kem.t) -> k.name) Pqc.Registry.kems,
+        (fun name ->
+          Experiment.run ?seed (Pqc.Registry.find_kem name)
+            Pqc.Registry.baseline_sig),
+        fun name ->
+          Option.map
+            (fun (r : Paper_data.t2_row) ->
+              (r.part_a, r.part_b, r.total_k, r.client_b, r.server_b))
+            (Paper_data.find2a name) )
+    | `B ->
+      ( List.map (fun (s : Pqc.Sigalg.t) -> s.name) Pqc.Registry.sigs,
+        (fun name ->
+          Experiment.run ?seed Pqc.Registry.baseline_kem
+            (Pqc.Registry.find_sig name)),
+        fun name ->
+          Option.map
+            (fun (r : Paper_data.t2_row) ->
+              (r.part_a, r.part_b, r.total_k, r.client_b, r.server_b))
+            (Paper_data.find2b name) )
+  in
+  List.map
+    (fun name ->
+      let o = run name in
+      { t2_name = name;
+        t2_pa = part_a o;
+        t2_pb = part_b o;
+        t2_count = o.Experiment.handshakes_per_minute;
+        t2_cb = cbytes o;
+        t2_sb = sbytes o;
+        t2_paper = find name })
+    algs
+
+let table2_rows ?seed which =
+  List.map
+    (fun r ->
+      let pa, pb, tk, cb, sb =
+        match r.t2_paper with
+        | Some v -> v
+        | None -> (nan, nan, nan, 0, 0)
+      in
+      Printf.sprintf
+        "%-20s %6.2f %s | %6.2f %s | %6.1fk %5.1fk | %7d %7d | %7d %7d"
+        r.t2_name r.t2_pa (fmt_paper pa) r.t2_pb (fmt_paper pb)
+        (float_of_int r.t2_count /. 1000.)
+        tk r.t2_cb cb r.t2_sb sb)
+    (table2_data ?seed which)
+
+let table2_csv ?seed which =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    "algorithm,partA_ms,partB_ms,handshakes_per_60s,client_bytes,server_bytes,\
+     paper_partA_ms,paper_partB_ms,paper_handshakes,paper_client_bytes,paper_server_bytes\n";
+  List.iter
+    (fun r ->
+      let ppa, ppb, ptk, pcb, psb =
+        match r.t2_paper with
+        | Some v -> v
+        | None -> (nan, nan, nan, 0, 0)
+      in
+      let f v = if Float.is_nan v then "" else Printf.sprintf "%.3f" v in
+      Buffer.add_string b
+        (Printf.sprintf "%s,%.3f,%.3f,%d,%d,%d,%s,%s,%s,%d,%d\n" r.t2_name
+           r.t2_pa r.t2_pb r.t2_count r.t2_cb r.t2_sb (f ppa) (f ppb)
+           (f (ptk *. 1000.)) pcb psb))
+    (table2_data ?seed which);
+  Buffer.contents b
+
+let table2a_csv ?seed () = table2_csv ?seed `A
+let table2b_csv ?seed () = table2_csv ?seed `B
+
+let header2 =
+  Printf.sprintf "%-20s %14s | %14s | %14s | %15s | %15s" "algorithm"
+    "partA sim/pap" "partB sim/pap" "#60s sim/pap" "client B sim/pap"
+    "server B sim/pap"
+
+let table2a ?seed () =
+  buf_table
+    "Table 2a: handshake latency, data usage and count (KAs with rsa:2048)"
+    header2
+    (table2_rows ?seed `A)
+
+let table2b ?seed () =
+  buf_table
+    "Table 2b: handshake latency, data usage and count (SAs with x25519)"
+    header2
+    (table2_rows ?seed `B)
+
+(* ---- Table 3 ------------------------------------------------------------ *)
+
+let fmt_libs libs =
+  libs
+  |> List.filter (fun (_, f) -> f >= 0.005)
+  |> List.map (fun (lib, f) -> Printf.sprintf "%s %.0f%%" lib (100. *. f))
+  |> String.concat " "
+
+let table3 ?seed () =
+  let rows =
+    List.map
+      (fun r ->
+        Printf.sprintf
+          "%d %-14s %-15s %5.0f | %5.2f %5.2f | %3d %3d | S: %s | C: %s"
+          r.Whitebox.level r.Whitebox.kem r.Whitebox.sa
+          r.Whitebox.handshakes_per_s r.Whitebox.server_cpu_ms
+          r.Whitebox.client_cpu_ms r.Whitebox.server_pkts r.Whitebox.client_pkts
+          (fmt_libs r.Whitebox.server_libs)
+          (fmt_libs r.Whitebox.client_libs))
+      (Whitebox.table ?seed ())
+  in
+  buf_table "Table 3: white-box measurements"
+    (Printf.sprintf "L %-14s %-15s %5s | %11s | %7s | %s" "KA" "SA" "HS/s"
+       "CPU srv/cli" "pkt s/c" "library distribution")
+    rows
+
+(* ---- Table 4 ------------------------------------------------------------ *)
+
+let table4_rows ?seed which =
+  let algs, run, find =
+    match which with
+    | `A ->
+      ( List.map (fun (k : Pqc.Kem.t) -> k.name) Pqc.Registry.kems,
+        (fun name sc ->
+          Experiment.run ?seed ~scenario:sc (Pqc.Registry.find_kem name)
+            Pqc.Registry.baseline_sig),
+        Paper_data.find4a )
+    | `B ->
+      ( List.map (fun (s : Pqc.Sigalg.t) -> s.name) Pqc.Registry.sigs,
+        (fun name sc ->
+          Experiment.run ?seed ~scenario:sc Pqc.Registry.baseline_kem
+            (Pqc.Registry.find_sig name)),
+        Paper_data.find4b )
+  in
+  List.map
+    (fun name ->
+      let cell sc = total (run name sc) in
+      let paper =
+        match find name with
+        | Some (r : Paper_data.t4_row) ->
+          [ r.none; r.loss; r.bandwidth; r.delay; r.lte_m; r.five_g ]
+        | None -> [ nan; nan; nan; nan; nan; nan ]
+      in
+      let sims = List.map cell Scenario.all in
+      let cols =
+        List.map2
+          (fun sim pap -> Printf.sprintf "%8.2f %s" sim (fmt_paper pap))
+          sims paper
+      in
+      Printf.sprintf "%-20s %s" name (String.concat " | " cols))
+    algs
+
+let header4 =
+  Printf.sprintf "%-20s %s" "algorithm"
+    (String.concat " | "
+       (List.map
+          (fun sc -> Printf.sprintf "%15s" sc.Scenario.label)
+          Scenario.all))
+
+let table4a ?seed () =
+  buf_table
+    "Table 4a: median handshake latency (ms) per network scenario (KAs, sim/paper)"
+    header4
+    (table4_rows ?seed `A)
+
+let table4b ?seed () =
+  buf_table
+    "Table 4b: median handshake latency (ms) per network scenario (SAs, sim/paper)"
+    header4
+    (table4_rows ?seed `B)
+
+(* ---- Figure 3 ------------------------------------------------------------ *)
+
+let figure3 ?(seed = "figure3") () =
+  let b = Buffer.create 8192 in
+  let levels = [ 1; 3; 5 ] in
+  let grids_opt = List.map (Deviation.analyze ~seed) levels in
+  let grids_def =
+    List.map
+      (Deviation.analyze ~buffering:Tls.Config.Default_buffered ~seed)
+      levels
+  in
+  let dump title grids =
+    Buffer.add_string b (title ^ "\n");
+    Buffer.add_string b
+      "  level KA              SA              measured expected deviation\n";
+    List.iter
+      (fun (g : Deviation.grid) ->
+        List.iter
+          (fun (c : Deviation.cell) ->
+            Buffer.add_string b
+              (Printf.sprintf "  %d     %-15s %-15s %8.2f %8.2f %+9.2f\n"
+                 g.Deviation.level c.Deviation.kem c.Deviation.sa
+                 c.Deviation.measured_ms c.Deviation.expected_ms
+                 c.Deviation.deviation_ms))
+          g.Deviation.cells)
+      grids;
+    let all_devs =
+      List.concat_map
+        (fun (g : Deviation.grid) ->
+          List.map (fun c -> c.Deviation.deviation_ms) g.Deviation.cells)
+        grids
+    in
+    let lo, hi = Stats.min_max all_devs in
+    Buffer.add_string b
+      (Printf.sprintf "  deviation median %+0.2f ms, range [%+0.2f, %+0.2f]\n\n"
+         (Stats.median all_devs) lo hi)
+  in
+  dump "Figure 3a: deviation from additive prediction (default OpenSSL)"
+    grids_def;
+  dump "Figure 3b: deviation from additive prediction (optimized push)"
+    grids_opt;
+  Buffer.add_string b "Figure 3c: improvement of optimized over default (ms)\n";
+  List.iter2
+    (fun o d ->
+      List.iter
+        (fun (k, s, gain) ->
+          Buffer.add_string b
+            (Printf.sprintf "  %d     %-15s %-15s %+8.2f\n" o.Deviation.level k
+               s gain))
+        (Deviation.improvement ~optimized:o ~default:d))
+    grids_opt grids_def;
+  Buffer.contents b
+
+(* ---- Figure 4 ------------------------------------------------------------ *)
+
+let figure4 ?(seed = "figure4") () =
+  let b = Buffer.create 2048 in
+  let run_kems =
+    List.map
+      (fun (k : Pqc.Kem.t) ->
+        (k.name, Experiment.run ~seed (Pqc.Registry.find_kem k.name)
+                   Pqc.Registry.baseline_sig))
+      Pqc.Registry.kems
+  in
+  let run_sigs =
+    List.map
+      (fun (s : Pqc.Sigalg.t) ->
+        (s.name, Experiment.run ~seed Pqc.Registry.baseline_kem
+                   (Pqc.Registry.find_sig s.name)))
+      Pqc.Registry.sigs
+  in
+  let dump title entries =
+    Buffer.add_string b (title ^ "\n");
+    List.iter
+      (fun (e : Ranking.entry) ->
+        Buffer.add_string b
+          (Printf.sprintf "  [%2d] %-20s %8.2f ms\n" e.Ranking.rank
+             e.Ranking.name e.Ranking.latency_ms))
+      entries;
+    Buffer.add_char b '\n'
+  in
+  dump "Figure 4 (top): key agreements ranked by log-scaled latency"
+    (Ranking.kem_ranking run_kems);
+  dump "Figure 4 (bottom): signature algorithms ranked by log-scaled latency"
+    (Ranking.sig_ranking run_sigs);
+  Buffer.contents b
+
+(* ---- Section 5.5 ---------------------------------------------------------- *)
+
+let attack ?seed () =
+  let rows = Amplification.survey ?seed () in
+  let body =
+    List.map
+      (fun (r : Amplification.row) ->
+        Printf.sprintf "%-16s %-18s %9.2fx %12.2fx%s" r.Amplification.kem
+          r.Amplification.sa r.Amplification.cpu_ratio
+          r.Amplification.amplification
+          (if r.Amplification.amplification > Amplification.quic_limit then
+             "  (exceeds QUIC's 3x)"
+           else ""))
+      rows
+  in
+  let worst_a = Amplification.worst_amplification rows in
+  let worst_c = Amplification.worst_cpu_ratio rows in
+  buf_table "Section 5.5: attack-surface asymmetries"
+    (Printf.sprintf "%-16s %-18s %10s %13s" "KA" "SA" "CPU s/c" "amplification")
+    body
+  ^ Printf.sprintf
+      "worst amplification: %s x %s at %.1fx (QUIC limit: %.0fx)\n\
+       worst CPU skew: %s x %s at %.1fx\n"
+      worst_a.Amplification.kem worst_a.Amplification.sa
+      worst_a.Amplification.amplification Amplification.quic_limit
+      worst_c.Amplification.kem worst_c.Amplification.sa
+      worst_c.Amplification.cpu_ratio
+
+(* ---- ablations ------------------------------------------------------------ *)
+
+let ablation_buffer ?(seed = "ablation") () =
+  let limits = [ 1024; 2048; 4096; 8192; 16384; 65536 ] in
+  let kem = Pqc.Registry.find_kem "kyber512" in
+  let sa = Pqc.Registry.find_sig "sphincs128" in
+  let rows =
+    List.map
+      (fun limit ->
+        let m buffering =
+          total (Experiment.run ~seed ~buffering ~buffer_limit:limit kem sa)
+        in
+        Printf.sprintf "%8d %12.2f %12.2f" limit
+          (m Tls.Config.Default_buffered)
+          (m Tls.Config.Optimized_push))
+      limits
+  in
+  buf_table
+    "Ablation: BIO buffer limit vs total latency (kyber512 x sphincs128, ms)"
+    (Printf.sprintf "%8s %12s %12s" "limit B" "default" "optimized")
+    rows
+
+let ablation_cwnd ?(seed = "ablation") () =
+  let windows = [ 4; 10; 20; 40; 80 ] in
+  let pairs =
+    [ ("x25519", "rsa:2048"); ("kyber768", "dilithium3");
+      ("kyber512", "sphincs128"); ("x25519", "sphincs256") ]
+  in
+  let rows =
+    List.map
+      (fun (k, s) ->
+        let cells =
+          List.map
+            (fun w ->
+              let tcp_config =
+                { Netsim.Tcp.default_config with
+                  Netsim.Tcp.init_cwnd_segments = w }
+              in
+              let o =
+                Experiment.run ~seed ~scenario:Scenario.high_delay ~tcp_config
+                  (Pqc.Registry.find_kem k) (Pqc.Registry.find_sig s)
+              in
+              Printf.sprintf "%9.0f" (total o))
+            windows
+        in
+        Printf.sprintf "%-12s %-12s %s" k s (String.concat " " cells))
+      pairs
+  in
+  buf_table
+    "Ablation: initial CWND (segments) vs high-delay latency (ms, 1 s RTT)"
+    (Printf.sprintf "%-12s %-12s %s" "KA" "SA"
+       (String.concat " " (List.map (Printf.sprintf "%9d") windows)))
+    rows
+
+let ablation_hrr ?(seed = "ablation") () =
+  (* the 2-RTT HelloRetryRequest fallback the paper configured away:
+     cost of a wrong pre-computed key share, per scenario *)
+  let pairs =
+    [ ("x25519", "rsa:2048"); ("kyber768", "dilithium3");
+      ("p521_kyber1024", "p521_dilithium5") ]
+  in
+  let scenarios = [ Scenario.no_emulation; Scenario.five_g; Scenario.high_delay ] in
+  let rows =
+    List.map
+      (fun (k, s) ->
+        let kem = Pqc.Registry.find_kem k and sa = Pqc.Registry.find_sig s in
+        let cells =
+          List.concat_map
+            (fun sc ->
+              let m wrong =
+                total (Experiment.run ~seed ~scenario:sc ~wrong_key_share:wrong kem sa)
+              in
+              [ Printf.sprintf "%9.2f" (m false); Printf.sprintf "%9.2f" (m true) ])
+            scenarios
+        in
+        Printf.sprintf "%-15s %-16s %s" k s (String.concat " " cells))
+      pairs
+  in
+  buf_table
+    "Ablation: HelloRetryRequest fallback (total ms; guessed vs wrong key share)"
+    (Printf.sprintf "%-15s %-16s %s" "KA" "SA"
+       (String.concat " "
+          (List.concat_map
+             (fun sc ->
+               [ Printf.sprintf "%9s" sc.Scenario.name;
+                 Printf.sprintf "%9s" (sc.Scenario.name ^ "+HRR") ])
+             scenarios)))
+    rows
+
+let all ?seed () =
+  [ ("table2a", table2a ?seed ());
+    ("table2b", table2b ?seed ());
+    ("figure3", figure3 ?seed ());
+    ("table3", table3 ?seed ());
+    ("table4a", table4a ?seed ());
+    ("table4b", table4b ?seed ());
+    ("figure4", figure4 ?seed ());
+    ("attack", attack ?seed ());
+    ("ablation-buffer", ablation_buffer ?seed ());
+    ("ablation-cwnd", ablation_cwnd ?seed ());
+    ("ablation-hrr", ablation_hrr ?seed ()) ]

@@ -1,0 +1,27 @@
+let percentile p xs =
+  match List.sort Float.compare xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | sorted ->
+    let a = Array.of_list sorted in
+    let n = Array.length a in
+    if n = 1 then a.(0)
+    else begin
+      let pos = p *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor pos) in
+      let hi = min (n - 1) (lo + 1) in
+      let frac = pos -. float_of_int lo in
+      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+    end
+
+let median xs = percentile 0.5 xs
+
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty"
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty"
+  | x :: rest ->
+    List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) rest
+
+let median_int xs = median (List.map float_of_int xs)

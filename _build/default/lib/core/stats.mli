@@ -1,0 +1,11 @@
+(** Small numeric helpers used by every evaluation. *)
+
+val median : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val mean : float list -> float
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,1], linear interpolation. *)
+
+val min_max : float list -> float * float
+val median_int : int list -> float

@@ -1,0 +1,40 @@
+type row = {
+  level : int;
+  kem : string;
+  sa : string;
+  handshakes_per_s : float;
+  server_cpu_ms : float;
+  client_cpu_ms : float;
+  server_pkts : int;
+  client_pkts : int;
+  server_libs : (string * float) list;
+  client_libs : (string * float) list;
+}
+
+let paper_pairs =
+  [ (1, "x25519", "rsa:2048");
+    (1, "kyber512", "dilithium2");
+    (1, "bikel1", "dilithium2");
+    (1, "kyber512", "sphincs128");
+    (1, "hqc128", "falcon512");
+    (1, "p256_kyber512", "p256_dilithium2");
+    (3, "kyber768", "dilithium3");
+    (5, "kyber1024", "dilithium5") ]
+
+let measure ?(seed = "whitebox") (level, kem_name, sa_name) =
+  let kem = Pqc.Registry.find_kem kem_name in
+  let sa = Pqc.Registry.find_sig sa_name in
+  let o = Experiment.run ~seed kem sa in
+  let pkts f = int_of_float (Stats.median_int (List.map f o.Experiment.samples)) in
+  { level;
+    kem = kem_name;
+    sa = sa_name;
+    handshakes_per_s = float_of_int o.Experiment.handshakes_per_minute /. 60.;
+    server_cpu_ms = o.Experiment.server_cpu_ms;
+    client_cpu_ms = o.Experiment.client_cpu_ms;
+    server_pkts = pkts (fun s -> s.Experiment.server_pkts);
+    client_pkts = pkts (fun s -> s.Experiment.client_pkts);
+    server_libs = o.Experiment.server_ledger;
+    client_libs = o.Experiment.client_ledger }
+
+let table ?seed () = List.map (fun p -> measure ?seed p) paper_pairs

@@ -1,0 +1,24 @@
+(** Table 3: white-box (profiled) view of selected KA x SA pairs —
+    handshake rate, per-handshake CPU cost per side, packet counts, and
+    the per-shared-library CPU distribution the paper derives from Linux
+    perf. *)
+
+type row = {
+  level : int;
+  kem : string;
+  sa : string;
+  handshakes_per_s : float;
+  server_cpu_ms : float;
+  client_cpu_ms : float;
+  server_pkts : int;
+  client_pkts : int;
+  server_libs : (string * float) list;  (** fraction of CPU, descending *)
+  client_libs : (string * float) list;
+}
+
+val paper_pairs : (int * string * string) list
+(** The eight pairs shown in the paper's Table 3. *)
+
+val measure : ?seed:string -> int * string * string -> row
+val table : ?seed:string -> unit -> row list
+(** All of [paper_pairs]. *)

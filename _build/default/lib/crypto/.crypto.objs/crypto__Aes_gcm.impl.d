@@ -1,0 +1,1 @@
+lib/crypto/aes_gcm.ml: Aes Buffer Bytes Bytesx Int64 String

@@ -1,0 +1,1 @@
+lib/crypto/bignum.ml: Array Bytes Bytesx Char Drbg Format List Stdlib String

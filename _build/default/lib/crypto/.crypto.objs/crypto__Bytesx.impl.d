@@ -1,0 +1,1 @@
+lib/crypto/bytesx.ml: Buffer Bytes Char Int64 String

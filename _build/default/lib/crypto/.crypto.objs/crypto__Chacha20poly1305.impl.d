@@ -1,0 +1,1 @@
+lib/crypto/chacha20poly1305.ml: Bytesx Chacha20 Int64 Poly1305 String

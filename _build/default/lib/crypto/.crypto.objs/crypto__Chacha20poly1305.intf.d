@@ -1,0 +1,1 @@
+lib/crypto/chacha20poly1305.mli:

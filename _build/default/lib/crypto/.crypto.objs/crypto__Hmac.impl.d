@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Bytesx Sha256 Sha512 String

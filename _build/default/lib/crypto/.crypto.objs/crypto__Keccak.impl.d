@@ -1,0 +1,1 @@
+lib/crypto/keccak.ml: Array Bytes Bytesx Char Int64 String

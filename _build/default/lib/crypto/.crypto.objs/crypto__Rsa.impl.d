@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Bignum Bytesx Char Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/rsa_keys.ml: Bignum Drbg Hashtbl List Printf Rsa

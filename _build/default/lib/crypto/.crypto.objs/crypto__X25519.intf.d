@@ -1,0 +1,1 @@
+lib/crypto/x25519.mli:

@@ -1,0 +1,24 @@
+(** AES-128/192/256 block cipher (FIPS 197) plus CTR keystream.
+
+    Only the forward cipher is provided: every mode used in this project
+    (CTR, GCM, and the ML-KEM/ML-DSA "90s"/AES sampling variants) needs
+    encryption only. *)
+
+type key
+
+val expand_key : string -> key
+(** [expand_key k] accepts 16-, 24- or 32-byte keys.
+    @raise Invalid_argument otherwise. *)
+
+val encrypt_block : key -> string -> string
+(** [encrypt_block key block] for a 16-byte [block]. *)
+
+val ctr_keystream : key -> nonce:string -> int -> string
+(** [ctr_keystream key ~nonce n] generates [n] bytes of CTR keystream.
+    [nonce] is up to 16 bytes; it occupies the high-order bytes of the
+    counter block and the remaining low-order bytes count up from 0
+    (big-endian), matching both NIST CTR-with-96-bit-IV and the AES-CTR
+    XOF construction used by Kyber-90s. *)
+
+val ctr_encrypt : key -> nonce:string -> string -> string
+(** XOR of the input with [ctr_keystream]. *)

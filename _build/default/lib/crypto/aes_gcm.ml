@@ -1,0 +1,111 @@
+(* SP 800-38D. GF(2^128) elements are (hi, lo) Int64 pairs, bit 0 of the
+   field = MSB of [hi], per the GCM bit ordering. *)
+
+let tag_size = 16
+
+type key = { aes : Aes.key; h : int64 * int64 }
+
+let block_of_string s off =
+  (Bytesx.get_u64_be s off, Bytesx.get_u64_be s (off + 8))
+
+let string_of_block (hi, lo) =
+  let b = Bytes.create 16 in
+  Bytesx.set_u64_be b 0 hi;
+  Bytesx.set_u64_be b 8 lo;
+  Bytes.unsafe_to_string b
+
+let xor_block (ah, al) (bh, bl) = (Int64.logxor ah bh, Int64.logxor al bl)
+
+(* reduction constant R = 11100001 || 0^120 *)
+let r_hi = 0xe100000000000000L
+
+let gf_mul (xh, xl) (yh, yl) =
+  let zh = ref 0L and zl = ref 0L in
+  let vh = ref yh and vl = ref yl in
+  let step bit =
+    if bit then begin
+      zh := Int64.logxor !zh !vh;
+      zl := Int64.logxor !zl !vl
+    end;
+    let lsb = Int64.logand !vl 1L in
+    let new_vl =
+      Int64.logor (Int64.shift_right_logical !vl 1) (Int64.shift_left !vh 63)
+    in
+    let new_vh = Int64.shift_right_logical !vh 1 in
+    vl := new_vl;
+    vh := if lsb = 1L then Int64.logxor new_vh r_hi else new_vh
+  in
+  for i = 63 downto 0 do
+    step (Int64.logand (Int64.shift_right_logical xh i) 1L = 1L)
+  done;
+  for i = 63 downto 0 do
+    step (Int64.logand (Int64.shift_right_logical xl i) 1L = 1L)
+  done;
+  (!zh, !zl)
+
+let of_secret secret =
+  let aes = Aes.expand_key secret in
+  let h = block_of_string (Aes.encrypt_block aes (String.make 16 '\000')) 0 in
+  { aes; h }
+
+let ghash key data =
+  (* data length need not be a multiple of 16; short tail is zero-padded *)
+  let n = String.length data in
+  let acc = ref (0L, 0L) in
+  let i = ref 0 in
+  while !i < n do
+    let blk =
+      if !i + 16 <= n then block_of_string data !i
+      else begin
+        let b = Bytes.make 16 '\000' in
+        Bytes.blit_string data !i b 0 (n - !i);
+        block_of_string (Bytes.unsafe_to_string b) 0
+      end
+    in
+    acc := gf_mul (xor_block !acc blk) key.h;
+    i := !i + 16
+  done;
+  !acc
+
+let pad16 s =
+  let r = String.length s mod 16 in
+  if r = 0 then s else s ^ String.make (16 - r) '\000'
+
+let lengths_block ad c =
+  Bytesx.u64_be (Int64.of_int (8 * String.length ad))
+  ^ Bytesx.u64_be (Int64.of_int (8 * String.length c))
+
+let counter_block nonce i =
+  nonce ^ Bytesx.u32_be i
+
+let gctr key nonce start msg =
+  let n = String.length msg in
+  let buf = Buffer.create n in
+  let blocks = (n + 15) / 16 in
+  for i = 0 to blocks - 1 do
+    Buffer.add_string buf
+      (Aes.encrypt_block key.aes (counter_block nonce (start + i)))
+  done;
+  Bytesx.xor msg (String.sub (Buffer.contents buf) 0 n)
+
+let compute_tag key nonce ad c =
+  let s = ghash key (pad16 ad ^ pad16 c ^ lengths_block ad c) in
+  let j0 = counter_block nonce 1 in
+  Bytesx.xor (string_of_block s) (Aes.encrypt_block key.aes j0)
+
+let seal key ~nonce ~ad plaintext =
+  if String.length nonce <> 12 then invalid_arg "Aes_gcm.seal: 12-byte nonce";
+  let c = gctr key nonce 2 plaintext in
+  c ^ compute_tag key nonce ad c
+
+let open_ key ~nonce ~ad sealed =
+  if String.length nonce <> 12 then invalid_arg "Aes_gcm.open_: 12-byte nonce";
+  let n = String.length sealed in
+  if n < tag_size then None
+  else begin
+    let c = String.sub sealed 0 (n - tag_size) in
+    let tag = String.sub sealed (n - tag_size) tag_size in
+    if Bytesx.equal_ct tag (compute_tag key nonce ad c) then
+      Some (gctr key nonce 2 c)
+    else None
+  end

@@ -1,0 +1,15 @@
+(** AES-GCM AEAD (NIST SP 800-38D) with 96-bit nonces and 16-byte tags. *)
+
+type key
+
+val of_secret : string -> key
+(** 16- or 32-byte secret for AES-128-GCM / AES-256-GCM. *)
+
+val seal : key -> nonce:string -> ad:string -> string -> string
+(** [seal k ~nonce ~ad plaintext] is ciphertext with the 16-byte tag
+    appended. [nonce] must be 12 bytes. *)
+
+val open_ : key -> nonce:string -> ad:string -> string -> string option
+(** Authenticated decryption; [None] if the tag does not verify. *)
+
+val tag_size : int

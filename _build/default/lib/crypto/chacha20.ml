@@ -1,0 +1,55 @@
+(* RFC 8439 ChaCha20. 32-bit words in native ints, masked. *)
+
+let mask = 0xffffffff
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+
+let quarter st a b c d =
+  st.(a) <- (st.(a) + st.(b)) land mask;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 16;
+  st.(c) <- (st.(c) + st.(d)) land mask;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 12;
+  st.(a) <- (st.(a) + st.(b)) land mask;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 8;
+  st.(c) <- (st.(c) + st.(d)) land mask;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 7
+
+let block ~key ~counter ~nonce =
+  if String.length key <> 32 then invalid_arg "Chacha20: 32-byte key";
+  if String.length nonce <> 12 then invalid_arg "Chacha20: 12-byte nonce";
+  let init = Array.make 16 0 in
+  init.(0) <- 0x61707865;
+  init.(1) <- 0x3320646e;
+  init.(2) <- 0x79622d32;
+  init.(3) <- 0x6b206574;
+  for i = 0 to 7 do
+    init.(4 + i) <- Bytesx.get_u32_le key (4 * i)
+  done;
+  init.(12) <- counter land mask;
+  for i = 0 to 2 do
+    init.(13 + i) <- Bytesx.get_u32_le nonce (4 * i)
+  done;
+  let st = Array.copy init in
+  for _ = 1 to 10 do
+    quarter st 0 4 8 12;
+    quarter st 1 5 9 13;
+    quarter st 2 6 10 14;
+    quarter st 3 7 11 15;
+    quarter st 0 5 10 15;
+    quarter st 1 6 11 12;
+    quarter st 2 7 8 13;
+    quarter st 3 4 9 14
+  done;
+  let out = Bytes.create 64 in
+  for i = 0 to 15 do
+    Bytesx.set_u32_le out (4 * i) ((st.(i) + init.(i)) land mask)
+  done;
+  Bytes.unsafe_to_string out
+
+let encrypt ~key ~counter ~nonce msg =
+  let n = String.length msg in
+  let buf = Buffer.create (n + 64) in
+  let blocks = (n + 63) / 64 in
+  for i = 0 to blocks - 1 do
+    Buffer.add_string buf (block ~key ~counter:(counter + i) ~nonce)
+  done;
+  Bytesx.xor msg (String.sub (Buffer.contents buf) 0 n)

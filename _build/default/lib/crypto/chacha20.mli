@@ -1,0 +1,7 @@
+(** ChaCha20 stream cipher (RFC 8439). *)
+
+val block : key:string -> counter:int -> nonce:string -> string
+(** One 64-byte keystream block. [key] is 32 bytes, [nonce] 12 bytes. *)
+
+val encrypt : key:string -> counter:int -> nonce:string -> string -> string
+(** XOR the message with the keystream starting at block [counter]. *)

@@ -1,0 +1,16 @@
+let extract h ~salt ~ikm =
+  let salt = if salt = "" then String.make h.Hmac.digest_size '\000' else salt in
+  Hmac.hmac h ~key:salt ikm
+
+let expand h ~prk ~info len =
+  if len > 255 * h.Hmac.digest_size then invalid_arg "Hkdf.expand: too long";
+  let buf = Buffer.create len in
+  let rec go t i =
+    if Buffer.length buf < len then begin
+      let t = Hmac.hmac h ~key:prk (t ^ info ^ String.make 1 (Char.chr i)) in
+      Buffer.add_string buf t;
+      go t (i + 1)
+    end
+  in
+  go "" 1;
+  String.sub (Buffer.contents buf) 0 len

@@ -1,0 +1,9 @@
+(** HKDF (RFC 5869): extract-then-expand key derivation. *)
+
+val extract : Hmac.hash -> salt:string -> ikm:string -> string
+(** [extract h ~salt ~ikm] is the PRK; an empty [salt] means a string of
+    [h.digest_size] zero bytes, per the RFC. *)
+
+val expand : Hmac.hash -> prk:string -> info:string -> int -> string
+(** [expand h ~prk ~info len] derives [len] bytes of output keying
+    material. @raise Invalid_argument if [len > 255 * digest_size]. *)

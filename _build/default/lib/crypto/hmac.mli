@@ -1,0 +1,16 @@
+(** HMAC (RFC 2104) over a pluggable hash. *)
+
+type hash = {
+  name : string;
+  digest_size : int;
+  block_size : int;
+  digest : string -> string;
+}
+(** A one-shot hash description; see {!sha256} and {!sha384}. *)
+
+val sha256 : hash
+val sha384 : hash
+val sha512 : hash
+
+val hmac : hash -> key:string -> string -> string
+(** [hmac h ~key msg] is HMAC-H(key, msg). *)

@@ -1,0 +1,213 @@
+(* Keccak-f[1600] sponge, FIPS 202.
+
+   Performance note: OCaml boxes int64 array elements, which makes the
+   obvious Int64 implementation allocate on every lane operation. Each
+   64-bit lane is therefore split into two *native* ints (low/high 32
+   bits), kept in plain int arrays — allocation-free and several times
+   faster, which matters because SHAKE sits on the hot path of Kyber,
+   Dilithium, SPHINCS+ and the DRBG. Lane (x, y) lives at index
+   [x + 5*y]. *)
+
+let m32 = 0xffffffff
+
+(* round constants split into (lo32, hi32) *)
+let rc_lo, rc_hi =
+  let rc =
+    [| 0x0000000000000001L; 0x0000000000008082L; 0x800000000000808aL;
+       0x8000000080008000L; 0x000000000000808bL; 0x0000000080000001L;
+       0x8000000080008081L; 0x8000000000008009L; 0x000000000000008aL;
+       0x0000000000000088L; 0x0000000080008009L; 0x000000008000000aL;
+       0x000000008000808bL; 0x800000000000008bL; 0x8000000000008089L;
+       0x8000000000008003L; 0x8000000000008002L; 0x8000000000000080L;
+       0x000000000000800aL; 0x800000008000000aL; 0x8000000080008081L;
+       0x8000000000008080L; 0x0000000080000001L; 0x8000000080008008L |]
+  in
+  ( Array.map (fun v -> Int64.to_int (Int64.logand v 0xffffffffL)) rc,
+    Array.map
+      (fun v -> Int64.to_int (Int64.shift_right_logical v 32) land m32)
+      rc )
+
+(* rotation offsets, indexed x + 5*y *)
+let rho =
+  [| 0; 1; 62; 28; 27; 36; 44; 6; 55; 20; 3; 10; 43; 25; 39; 41; 45; 15; 21;
+     8; 18; 2; 61; 56; 14 |]
+
+(* pi permutation target: dst.(pi.(i)) <- rotated src.(i) *)
+let pi =
+  let t = Array.make 25 0 in
+  for x = 0 to 4 do
+    for y = 0 to 4 do
+      t.(x + (5 * y)) <- y + (5 * (((2 * x) + (3 * y)) mod 5))
+    done
+  done;
+  t
+
+type state = {
+  lo : int array; (* 25 low halves *)
+  hi : int array; (* 25 high halves *)
+  (* permutation scratch *)
+  clo : int array;
+  chi : int array;
+  dlo : int array;
+  dhi : int array;
+  blo : int array;
+  bhi : int array;
+}
+
+let make_state () =
+  { lo = Array.make 25 0; hi = Array.make 25 0; clo = Array.make 5 0;
+    chi = Array.make 5 0; dlo = Array.make 5 0; dhi = Array.make 5 0;
+    blo = Array.make 25 0; bhi = Array.make 25 0 }
+
+(* index tables avoid mod-5 arithmetic in the inner loops *)
+let mod5 = Array.init 25 (fun i -> i mod 5)
+let chi_i1 = Array.init 25 (fun i -> (5 * (i / 5)) + ((i + 1) mod 5))
+let chi_i2 = Array.init 25 (fun i -> (5 * (i / 5)) + ((i + 2) mod 5))
+
+let keccak_f st =
+  let lo = st.lo and hi = st.hi in
+  let clo = st.clo and chi = st.chi and dlo = st.dlo and dhi = st.dhi in
+  let blo = st.blo and bhi = st.bhi in
+  for round = 0 to 23 do
+    (* theta *)
+    for x = 0 to 4 do
+      Array.unsafe_set clo x
+        (Array.unsafe_get lo x lxor Array.unsafe_get lo (x + 5)
+        lxor Array.unsafe_get lo (x + 10) lxor Array.unsafe_get lo (x + 15)
+        lxor Array.unsafe_get lo (x + 20));
+      Array.unsafe_set chi x
+        (Array.unsafe_get hi x lxor Array.unsafe_get hi (x + 5)
+        lxor Array.unsafe_get hi (x + 10) lxor Array.unsafe_get hi (x + 15)
+        lxor Array.unsafe_get hi (x + 20))
+    done;
+    for x = 0 to 4 do
+      let x1 = if x = 4 then 0 else x + 1 and x4 = if x = 0 then 4 else x - 1 in
+      (* rotl1 of column x+1 *)
+      let rl = ((Array.unsafe_get clo x1 lsl 1) lor (Array.unsafe_get chi x1 lsr 31)) land m32 in
+      let rh = ((Array.unsafe_get chi x1 lsl 1) lor (Array.unsafe_get clo x1 lsr 31)) land m32 in
+      Array.unsafe_set dlo x (Array.unsafe_get clo x4 lxor rl);
+      Array.unsafe_set dhi x (Array.unsafe_get chi x4 lxor rh)
+    done;
+    for i = 0 to 24 do
+      let m = Array.unsafe_get mod5 i in
+      Array.unsafe_set lo i (Array.unsafe_get lo i lxor Array.unsafe_get dlo m);
+      Array.unsafe_set hi i (Array.unsafe_get hi i lxor Array.unsafe_get dhi m)
+    done;
+    (* rho + pi *)
+    for i = 0 to 24 do
+      let n = Array.unsafe_get rho i in
+      let l = Array.unsafe_get lo i and h = Array.unsafe_get hi i in
+      let t = Array.unsafe_get pi i in
+      if n = 0 then begin
+        Array.unsafe_set blo t l;
+        Array.unsafe_set bhi t h
+      end
+      else if n < 32 then begin
+        Array.unsafe_set blo t (((l lsl n) lor (h lsr (32 - n))) land m32);
+        Array.unsafe_set bhi t (((h lsl n) lor (l lsr (32 - n))) land m32)
+      end
+      else if n = 32 then begin
+        Array.unsafe_set blo t h;
+        Array.unsafe_set bhi t l
+      end
+      else begin
+        let k = n - 32 in
+        Array.unsafe_set blo t (((h lsl k) lor (l lsr (32 - k))) land m32);
+        Array.unsafe_set bhi t (((l lsl k) lor (h lsr (32 - k))) land m32)
+      end
+    done;
+    (* chi *)
+    for i = 0 to 24 do
+      let i1 = Array.unsafe_get chi_i1 i and i2 = Array.unsafe_get chi_i2 i in
+      Array.unsafe_set lo i
+        (Array.unsafe_get blo i
+        lxor (lnot (Array.unsafe_get blo i1) land Array.unsafe_get blo i2 land m32));
+      Array.unsafe_set hi i
+        (Array.unsafe_get bhi i
+        lxor (lnot (Array.unsafe_get bhi i1) land Array.unsafe_get bhi i2 land m32))
+    done;
+    (* iota *)
+    Array.unsafe_set lo 0 (Array.unsafe_get lo 0 lxor Array.unsafe_get rc_lo round);
+    Array.unsafe_set hi 0 (Array.unsafe_get hi 0 lxor Array.unsafe_get rc_hi round)
+  done
+
+type sponge = {
+  st : state;
+  rate : int; (* rate in bytes *)
+  mutable pos : int; (* byte position within the current rate block *)
+}
+
+let xor_byte_into st i v =
+  let lane = i lsr 3 and off = i land 7 in
+  if off < 4 then st.lo.(lane) <- st.lo.(lane) lxor (v lsl (8 * off))
+  else st.hi.(lane) <- st.hi.(lane) lxor (v lsl (8 * (off - 4)))
+
+let byte_out st i =
+  let lane = i lsr 3 and off = i land 7 in
+  if off < 4 then (st.lo.(lane) lsr (8 * off)) land 0xff
+  else (st.hi.(lane) lsr (8 * (off - 4))) land 0xff
+
+let absorb sp msg pad_byte =
+  let n = String.length msg in
+  let i = ref 0 in
+  while !i < n do
+    (* fast path: absorb a whole aligned 64-bit lane at once *)
+    if sp.pos land 7 = 0 && n - !i >= 8 then begin
+      let lane = sp.pos lsr 3 in
+      let lo32 = Bytesx.get_u32_le msg !i in
+      let hi32 = Bytesx.get_u32_le msg (!i + 4) in
+      sp.st.lo.(lane) <- sp.st.lo.(lane) lxor lo32;
+      sp.st.hi.(lane) <- sp.st.hi.(lane) lxor hi32;
+      sp.pos <- sp.pos + 8;
+      i := !i + 8
+    end
+    else begin
+      xor_byte_into sp.st sp.pos (Char.code (String.unsafe_get msg !i));
+      sp.pos <- sp.pos + 1;
+      incr i
+    end;
+    if sp.pos = sp.rate then begin
+      keccak_f sp.st;
+      sp.pos <- 0
+    end
+  done;
+  (* pad10*1 with the domain bits folded into the first pad byte *)
+  xor_byte_into sp.st sp.pos pad_byte;
+  xor_byte_into sp.st (sp.rate - 1) 0x80;
+  keccak_f sp.st;
+  sp.pos <- 0
+
+let squeeze sp n =
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    if sp.pos = sp.rate then begin
+      keccak_f sp.st;
+      sp.pos <- 0
+    end;
+    Bytes.set out i (Char.chr (byte_out sp.st sp.pos));
+    sp.pos <- sp.pos + 1
+  done;
+  Bytes.unsafe_to_string out
+
+let hash rate pad_byte msg out_len =
+  let sp = { st = make_state (); rate; pos = 0 } in
+  absorb sp msg pad_byte;
+  squeeze sp out_len
+
+let sha3_256 msg = hash 136 0x06 msg 32
+let sha3_512 msg = hash 72 0x06 msg 64
+let shake128 msg n = hash 168 0x1f msg n
+let shake256 msg n = hash 136 0x1f msg n
+
+module Xof = struct
+  type t = sponge
+
+  let make rate msg =
+    let sp = { st = make_state (); rate; pos = 0 } in
+    absorb sp msg 0x1f;
+    sp
+
+  let shake128 msg = make 168 msg
+  let shake256 msg = make 136 msg
+  let squeeze = squeeze
+end

@@ -1,0 +1,25 @@
+(** Keccak sponge (FIPS 202): SHA3-256/512 and the SHAKE128/256 XOFs.
+
+    SHAKE is exposed both as one-shot ([shake128], [shake256]) and as an
+    incremental XOF ([Xof]) so callers (ML-KEM / ML-DSA samplers) can
+    squeeze an unbounded stream. *)
+
+val sha3_256 : string -> string
+val sha3_512 : string -> string
+
+val shake128 : string -> int -> string
+(** [shake128 msg n] squeezes [n] bytes. *)
+
+val shake256 : string -> int -> string
+
+module Xof : sig
+  type t
+
+  val shake128 : string -> t
+  (** Absorb [msg] and switch to the squeeze phase. *)
+
+  val shake256 : string -> t
+
+  val squeeze : t -> int -> string
+  (** [squeeze t n] produces the next [n] bytes of the output stream. *)
+end

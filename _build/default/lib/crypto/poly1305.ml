@@ -1,0 +1,126 @@
+(* RFC 8439 Poly1305 in 5 x 26-bit limbs; all arithmetic fits native int
+   on 64-bit platforms (products bounded by 2^58). *)
+
+let m26 = 0x3ffffff
+
+let mac ~key msg =
+  if String.length key <> 32 then invalid_arg "Poly1305.mac: 32-byte key";
+  (* clamped r *)
+  let t0 = Bytesx.get_u32_le key 0
+  and t1 = Bytesx.get_u32_le key 4
+  and t2 = Bytesx.get_u32_le key 8
+  and t3 = Bytesx.get_u32_le key 12 in
+  let r0 = t0 land 0x3ffffff in
+  let r1 = ((t0 lsr 26) lor (t1 lsl 6)) land 0x3ffff03 in
+  let r2 = ((t1 lsr 20) lor (t2 lsl 12)) land 0x3ffc0ff in
+  let r3 = ((t2 lsr 14) lor (t3 lsl 18)) land 0x3f03fff in
+  let r4 = (t3 lsr 8) land 0x00fffff in
+  let s1 = r1 * 5 and s2 = r2 * 5 and s3 = r3 * 5 and s4 = r4 * 5 in
+  let h0 = ref 0 and h1 = ref 0 and h2 = ref 0 and h3 = ref 0 and h4 = ref 0 in
+  let n = String.length msg in
+  let pos = ref 0 in
+  while !pos < n do
+    let take = min 16 (n - !pos) in
+    let blk = Bytes.make 17 '\000' in
+    Bytes.blit_string msg !pos blk 0 take;
+    Bytes.set blk take '\001';
+    let blk = Bytes.unsafe_to_string blk in
+    let b0 = Bytesx.get_u32_le blk 0
+    and b1 = Bytesx.get_u32_le blk 4
+    and b2 = Bytesx.get_u32_le blk 8
+    and b3 = Bytesx.get_u32_le blk 12
+    and b4 = Char.code blk.[16] in
+    h0 := !h0 + (b0 land 0x3ffffff);
+    h1 := !h1 + (((b0 lsr 26) lor (b1 lsl 6)) land 0x3ffffff);
+    h2 := !h2 + (((b1 lsr 20) lor (b2 lsl 12)) land 0x3ffffff);
+    h3 := !h3 + (((b2 lsr 14) lor (b3 lsl 18)) land 0x3ffffff);
+    h4 := !h4 + ((b3 lsr 8) lor (b4 lsl 24));
+    (* h *= r mod 2^130 - 5 *)
+    let d0 =
+      (!h0 * r0) + (!h1 * s4) + (!h2 * s3) + (!h3 * s2) + (!h4 * s1)
+    and d1 =
+      (!h0 * r1) + (!h1 * r0) + (!h2 * s4) + (!h3 * s3) + (!h4 * s2)
+    and d2 =
+      (!h0 * r2) + (!h1 * r1) + (!h2 * r0) + (!h3 * s4) + (!h4 * s3)
+    and d3 =
+      (!h0 * r3) + (!h1 * r2) + (!h2 * r1) + (!h3 * r0) + (!h4 * s4)
+    and d4 =
+      (!h0 * r4) + (!h1 * r3) + (!h2 * r2) + (!h3 * r1) + (!h4 * r0)
+    in
+    let c = d0 lsr 26 in
+    h0 := d0 land m26;
+    let d1 = d1 + c in
+    let c = d1 lsr 26 in
+    h1 := d1 land m26;
+    let d2 = d2 + c in
+    let c = d2 lsr 26 in
+    h2 := d2 land m26;
+    let d3 = d3 + c in
+    let c = d3 lsr 26 in
+    h3 := d3 land m26;
+    let d4 = d4 + c in
+    let c = d4 lsr 26 in
+    h4 := d4 land m26;
+    h0 := !h0 + (c * 5);
+    let c = !h0 lsr 26 in
+    h0 := !h0 land m26;
+    h1 := !h1 + c;
+    pos := !pos + take
+  done;
+  (* full reduction *)
+  let c = !h1 lsr 26 in
+  h1 := !h1 land m26;
+  h2 := !h2 + c;
+  let c = !h2 lsr 26 in
+  h2 := !h2 land m26;
+  h3 := !h3 + c;
+  let c = !h3 lsr 26 in
+  h3 := !h3 land m26;
+  h4 := !h4 + c;
+  let c = !h4 lsr 26 in
+  h4 := !h4 land m26;
+  h0 := !h0 + (c * 5);
+  let c = !h0 lsr 26 in
+  h0 := !h0 land m26;
+  h1 := !h1 + c;
+  (* compute h - p by adding 5 and checking bit 130 *)
+  let g0 = !h0 + 5 in
+  let c = g0 lsr 26 in
+  let g0 = g0 land m26 in
+  let g1 = !h1 + c in
+  let c = g1 lsr 26 in
+  let g1 = g1 land m26 in
+  let g2 = !h2 + c in
+  let c = g2 lsr 26 in
+  let g2 = g2 land m26 in
+  let g3 = !h3 + c in
+  let c = g3 lsr 26 in
+  let g3 = g3 land m26 in
+  let g4 = !h4 + c - (1 lsl 26) in
+  if g4 >= 0 then begin
+    h0 := g0;
+    h1 := g1;
+    h2 := g2;
+    h3 := g3;
+    h4 := g4
+  end;
+  (* h += s mod 2^128, then serialize little-endian *)
+  let f0 = !h0 lor (!h1 lsl 26) in
+  let f0 = f0 land 0xffffffff in
+  let f1 = ((!h1 lsr 6) lor (!h2 lsl 20)) land 0xffffffff in
+  let f2 = ((!h2 lsr 12) lor (!h3 lsl 14)) land 0xffffffff in
+  let f3 = ((!h3 lsr 18) lor (!h4 lsl 8)) land 0xffffffff in
+  let s0 = Bytesx.get_u32_le key 16
+  and s1' = Bytesx.get_u32_le key 20
+  and s2' = Bytesx.get_u32_le key 24
+  and s3' = Bytesx.get_u32_le key 28 in
+  let f0 = f0 + s0 in
+  let f1 = f1 + s1' + (f0 lsr 32) in
+  let f2 = f2 + s2' + (f1 lsr 32) in
+  let f3 = f3 + s3' + (f2 lsr 32) in
+  let out = Bytes.create 16 in
+  Bytesx.set_u32_le out 0 (f0 land 0xffffffff);
+  Bytesx.set_u32_le out 4 (f1 land 0xffffffff);
+  Bytesx.set_u32_le out 8 (f2 land 0xffffffff);
+  Bytesx.set_u32_le out 12 (f3 land 0xffffffff);
+  Bytes.unsafe_to_string out

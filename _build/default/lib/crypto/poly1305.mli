@@ -1,0 +1,4 @@
+(** Poly1305 one-time authenticator (RFC 8439). *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] with a 32-byte one-time [key]; 16-byte tag. *)

@@ -1,0 +1,92 @@
+module B = Bignum
+
+type pub = { n : B.t; e : B.t }
+
+type priv = {
+  pub : pub;
+  d : B.t;
+  p : B.t;
+  q : B.t;
+  dp : B.t;
+  dq : B.t;
+  qinv : B.t;
+}
+
+let e65537 = B.of_int 65537
+let modulus_bytes pub = (B.bit_length pub.n + 7) / 8
+
+let of_primes ~p ~q =
+  let n = B.mul p q in
+  let p1 = B.sub p B.one and q1 = B.sub q B.one in
+  let phi = B.mul p1 q1 in
+  let d = B.mod_inv e65537 ~m:phi in
+  { pub = { n; e = e65537 }; d; p; q; dp = B.rem d p1; dq = B.rem d q1;
+    qinv = B.mod_inv q ~m:p }
+
+let gen rng ~bits =
+  let half = bits / 2 in
+  let rec go () =
+    let p = B.gen_prime rng ~bits:half in
+    let q = B.gen_prime rng ~bits:(bits - half) in
+    if B.equal p q then go ()
+    else begin
+      (* e must be coprime to phi *)
+      let phi = B.mul (B.sub p B.one) (B.sub q B.one) in
+      if B.equal (B.gcd e65537 phi) B.one then of_primes ~p ~q else go ()
+    end
+  in
+  go ()
+
+(* RSASP1 via CRT: m1 = c^dp mod p, m2 = c^dq mod q,
+   h = qinv*(m1-m2) mod p, m = m2 + h*q. *)
+let private_op key c =
+  let m1 = B.mod_pow c key.dp ~m:key.p in
+  let m2 = B.mod_pow c key.dq ~m:key.q in
+  let h = B.mod_mul key.qinv (B.mod_sub m1 (B.rem m2 key.p) ~m:key.p) ~m:key.p in
+  B.add m2 (B.mul h key.q)
+
+(* DER prefix for a SHA-256 DigestInfo, RFC 8017 section 9.2 note 1. *)
+let sha256_digest_info_prefix =
+  Bytesx.of_hex "3031300d060960864801650304020105000420"
+
+let emsa_pkcs1_sha256 ~em_len msg =
+  let t = sha256_digest_info_prefix ^ Sha256.digest msg in
+  let t_len = String.length t in
+  if em_len < t_len + 11 then invalid_arg "Rsa: modulus too small";
+  "\x00\x01" ^ String.make (em_len - t_len - 3) '\xff' ^ "\x00" ^ t
+
+let sign_pkcs1_sha256 key msg =
+  let k = modulus_bytes key.pub in
+  let em = emsa_pkcs1_sha256 ~em_len:k msg in
+  B.to_bytes_be ~len:k (private_op key (B.of_bytes_be em))
+
+let verify_pkcs1_sha256 pub ~msg signature =
+  let k = modulus_bytes pub in
+  if String.length signature <> k then false
+  else begin
+    let s = B.of_bytes_be signature in
+    if B.compare s pub.n >= 0 then false
+    else begin
+      let em = B.to_bytes_be ~len:k (B.mod_pow s pub.e ~m:pub.n) in
+      Bytesx.equal_ct em (emsa_pkcs1_sha256 ~em_len:k msg)
+    end
+  end
+
+let encode_pub pub =
+  let n = B.to_bytes_be pub.n and e = B.to_bytes_be pub.e in
+  Bytesx.u16_be (String.length n) ^ n ^ Bytesx.u16_be (String.length e) ^ e
+
+let decode_pub s =
+  let len = String.length s in
+  if len < 4 then None
+  else begin
+    let nlen = Char.code s.[0] lsl 8 lor Char.code s.[1] in
+    if 2 + nlen + 2 > len then None
+    else begin
+      let n = B.of_bytes_be (String.sub s 2 nlen) in
+      let off = 2 + nlen in
+      let elen = Char.code s.[off] lsl 8 lor Char.code s.[off + 1] in
+      if off + 2 + elen <> len then None
+      else Some { n; e = B.of_bytes_be (String.sub s (off + 2) elen) }
+    end
+  end

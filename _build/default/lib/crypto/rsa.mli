@@ -1,0 +1,37 @@
+(** RSA key generation and PKCS#1 v1.5 signatures (RFC 8017).
+
+    Key generation uses Miller-Rabin primes from {!Bignum}; signing uses
+    the CRT. Only signatures are implemented: TLS 1.3 never uses RSA key
+    transport. *)
+
+type pub = { n : Bignum.t; e : Bignum.t }
+
+type priv = {
+  pub : pub;
+  d : Bignum.t;
+  p : Bignum.t;
+  q : Bignum.t;
+  dp : Bignum.t;
+  dq : Bignum.t;
+  qinv : Bignum.t;
+}
+
+val modulus_bytes : pub -> int
+
+val gen : Drbg.t -> bits:int -> priv
+(** Fresh keypair with public exponent 65537. *)
+
+val of_primes : p:Bignum.t -> q:Bignum.t -> priv
+(** Builds a keypair from known primes (used for the pre-generated keys in
+    {!Rsa_keys}). *)
+
+val sign_pkcs1_sha256 : priv -> string -> string
+(** EMSA-PKCS1-v1_5 with SHA-256 over the message; output is modulus-sized. *)
+
+val verify_pkcs1_sha256 : pub -> msg:string -> string -> bool
+
+val encode_pub : pub -> string
+(** Compact [len(n) || n || len(e) || e] encoding used inside our
+    certificates. *)
+
+val decode_pub : string -> pub option

@@ -1,0 +1,41 @@
+(* Pre-generated RSA primes (see DESIGN.md: produced once with a seeded
+   sympy script and embedded so tests and benches do not pay multi-second
+   Miller-Rabin key generation). Private use only -- never reuse outside
+   this repository. *)
+
+let primes = [
+  ( 1024,
+    "e925962d0622c270b781100cd93c1632f162121b550d3802ae43ceb165af5a92e709c86893dc04853dbb9e89e5c7e6e7a32009a75afe41dc9a6182db5cdc80f7",
+    "f0735e3b74ab7370864299bcf4f42888851501f97ef06ce0d2bdd82b2bb3a89f6bea301d233f6d69bf9a4f8b453b54f654e7af9f828c41f017e219aee87320e7" );
+  ( 2048,
+    "cdaad240b7a06fed93814c4ceac3561a4ee41922bdba7afe7bd97c3928af7edd3d3e77fb6abd77ecef8cafc666d8d5e6b783f9ac8ec32436cbf4dea87ee6fa4c1eda0730b560e8a833317ebf12ec71e88c33229d46d2f68bc12eb0ae1f187d0eba786f6415804c4f475da58cae4c2fd80e2e96259054c969de6cd57ebdc2fa51",
+    "f982155f77b3c1e5870acdbde19e38d89c6e7e99991e13505cc68b62f02d85115cb9806cab06cfecaf65a3a406c97e5291c42fdfc79f37c13d7d87fddbbf9a0a2352e41f84c5011e3c5554561035c86a5285056e3fa0e32d1bdf1fc28c484aefc503983c5dbc45655186a70f63feee623103d76fdf4dd103d9b5b8b437274963" );
+  ( 3072,
+    "ffb3ce17c4e1dccda7be6558b583a019d5b2f9d98ff197a4ea759f58120ca998257cda49faa9c154df23c3c95a95046cac409519321e1d1baf2e0a0521f4d9fbaa0ece7f055430ac37ad2322d25cc0913552aea0d55af65b60ba26313c5d4e8172a39a8409b1a4dae018e6048fe0c71df0cd04c4fb2612474fe84efd946d20ef508ab8ca85f4fa68725e6daaeb2604a312a023ee77b9029e32869a117981335c5c6e9598c0eca566001f9aa0a9edb266bdb3ca84014692a9db0a315cecd60daf",
+    "c22aa9679adc269abb9ebd1f7ee2729e3c489ce1364574e558b276f967b5b45e1b90b293b28445b10c8fc01aea012a9360784e8ef106fde95a48061471b44a177670a426119436b93f71dd624d85a4b0a0499c775c3b909f40153683fe1076881a5f62cdafa70ba6d376069be948200c5fc9b4c5a057c91222f91a3850193f39222e2e9b1db4f91e5c394e9ad2f70db7e3a31cb99b494137add7dcf2e5d1cb0934f09058640a87d2855437e669338e9520db622a18c9e28826f4595a73e63107" );
+  ( 4096,
+    "cf73311306f4204811d9bdc1ec2d0d9a7a868db24d6a9cb617505c3878dfa1d9b25374b1a73f2219459cc8ad71c20426a25248336daf290867ce7e0ca575896b6574870cc6d955c610b5e10e389e81e5f80e21a23e3ae57c42af3bbc6ea77606f7136f9a0298c02d3e0024c6201cc243256c6a07316a47b59aba9e46e06db21f2084136157a1ca747e85910882d0857bd1ba122e88a4827c0abfba965d0a409ab64a1f69588e42583303ddf9fb4510df397d8eec0825c3ecaa5bb92329eb0a790b803058020ad3154afb582efc143189b4722edbf62c087000ac1cf86d480c6e2bb943311b238b01a7cab6c80a0fb012f51b39c8d05d8387f9a9fc3f01c0d967",
+    "d01cae8b583dc4d63c4a73a5102c7f91851c5b91502d37322f9a3a2f4219645d9ab2084bf4db650b76e48443fe1d4b7cbcc4fa774b5dc4142a7d002af5c731155a499fb5d3049a1e7b307e2fb7162592a67d0c64fd60822166f000ae97ac616a97a55a7210d6d461cc6e43317df92b438405d821addb2036b00b2abf54232e2badaa1600bc9c1fbfa6c4b4275cc17544e8d698a91a9c0d87f53cd83a0caa0c5ba47fd3d453a709c14ffca389e87edbd1800b3c138560cd50da65edc4de851336c79d0feabc7cde1045de4e1f18edf73a689a72d801fbf26b551100e9a950a0e1a8e6bd037827493cba5358e6cc35ce6fec52c3c5f82c76b004edf7ef56e115e3" );
+]
+
+let find bits =
+  match List.find_opt (fun (b, _, _) -> b = bits) primes with
+  | None -> None
+  | Some (_, p, q) -> Some (Bignum.of_hex p, Bignum.of_hex q)
+
+let key_cache : (int, Rsa.priv) Hashtbl.t = Hashtbl.create 8
+
+(* Fixed keypair of [bits] modulus bits: embedded primes when available,
+   otherwise generated from a fixed seed (slow path). *)
+let fixed_key bits =
+  match Hashtbl.find_opt key_cache bits with
+  | Some k -> k
+  | None ->
+    let k =
+      match find bits with
+      | Some (p, q) -> Rsa.of_primes ~p ~q
+      | None ->
+        Rsa.gen (Drbg.create ~seed:(Printf.sprintf "rsa-fixed-%d" bits)) ~bits
+    in
+    Hashtbl.add key_cache bits k;
+    k

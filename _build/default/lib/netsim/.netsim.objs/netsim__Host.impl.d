@@ -1,0 +1,1 @@
+lib/netsim/host.ml: Engine Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Crypto Engine Float Hashtbl Packet

@@ -1,0 +1,1 @@
+lib/netsim/pcap.ml: Buffer Char Crypto List Packet String Trace

@@ -1,0 +1,1 @@
+lib/netsim/tcp.ml: Buffer Engine Float Host Link List Option Packet String

@@ -1,0 +1,27 @@
+(** Discrete-event simulation core: a virtual clock and an event queue.
+
+    All times are seconds of virtual time. Events scheduled for the same
+    instant fire in scheduling order (FIFO), which keeps runs perfectly
+    deterministic. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t +. delay]. Negative delays
+    are clamped to 0. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+
+type cancel = { mutable cancelled : bool }
+
+val schedule_cancellable : t -> delay:float -> (unit -> unit) -> cancel
+(** Like [schedule] but returns a handle; setting [cancelled] before the
+    event fires suppresses it (used for TCP retransmission timers). *)
+
+val run : ?until:float -> t -> unit
+(** Drain the queue; stop early once the clock passes [until]. *)
+
+val pending : t -> int

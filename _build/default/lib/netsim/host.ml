@@ -1,0 +1,35 @@
+type t = {
+  engine : Engine.t;
+  name : string;
+  mutable cpu_free : float; (* the core is busy until this time *)
+  ledger : (string, float) Hashtbl.t;
+}
+
+let create engine ~name = { engine; name; cpu_free = 0.; ledger = Hashtbl.create 8 }
+let name t = t.name
+
+let account t lib ms =
+  let prev = Option.value ~default:0. (Hashtbl.find_opt t.ledger lib) in
+  Hashtbl.replace t.ledger lib (prev +. ms)
+
+let charge t ~ms ~lib ~k =
+  let now = Engine.now t.engine in
+  let start = Float.max now t.cpu_free in
+  let finish = start +. (ms /. 1000.) in
+  t.cpu_free <- finish;
+  account t lib ms;
+  Engine.schedule_at t.engine ~time:finish k
+
+let charge_async t ~ms ~lib =
+  (* models interrupt-context work: accounted, and it delays the core *)
+  let now = Engine.now t.engine in
+  let start = Float.max now t.cpu_free in
+  t.cpu_free <- start +. (ms /. 1000.);
+  account t lib ms
+
+let ledger t =
+  Hashtbl.fold (fun lib ms acc -> (lib, ms) :: acc) t.ledger []
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+
+let total_cpu_ms t = Hashtbl.fold (fun _ ms acc -> acc +. ms) t.ledger 0.
+let reset_ledger t = Hashtbl.reset t.ledger

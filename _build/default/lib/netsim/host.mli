@@ -1,0 +1,22 @@
+(** A simulated host: one dedicated CPU core (the paper pins client and
+    server to cores) plus a per-shared-library CPU ledger that feeds the
+    white-box analysis (Table 3). *)
+
+type t
+
+val create : Engine.t -> name:string -> t
+val name : t -> string
+
+val charge : t -> ms:float -> lib:string -> k:(unit -> unit) -> unit
+(** [charge host ~ms ~lib ~k] occupies the CPU for [ms] virtual
+    milliseconds (queueing behind any in-flight work) and then runs [k].
+    The time is attributed to [lib] in the ledger. *)
+
+val charge_async : t -> ms:float -> lib:string -> unit
+(** Account CPU time with no continuation (per-packet kernel work). *)
+
+val ledger : t -> (string * float) list
+(** Accumulated CPU milliseconds per library, descending. *)
+
+val total_cpu_ms : t -> float
+val reset_ledger : t -> unit

@@ -1,0 +1,19 @@
+(** Classic libpcap export of captured traces.
+
+    The paper publishes raw PCAPs from its timestamper; this module does
+    the same for simulated traces, synthesizing Ethernet/IPv4/TCP headers
+    around each captured segment so the file opens in Wireshark/tcpdump
+    with correct sequence numbers, flags and payloads. *)
+
+val of_entries : Trace.entry list -> string
+(** A complete pcap file (little-endian, LINKTYPE_ETHERNET, microsecond
+    timestamps). *)
+
+val write_file : string -> Trace.t -> unit
+(** [write_file path trace] dumps the capture to disk. *)
+
+val client_ip : string
+(** "10.0.0.1" — hosts named ["client"] get this address. *)
+
+val server_ip : string
+(** "10.0.0.2" — every other host name. *)

@@ -1,0 +1,47 @@
+(** A TCP model sufficient for the paper's phenomena: 3-way handshake,
+    MSS-sized segmentation, slow start from a configurable initial
+    congestion window (Linux default 10, the paper's CWND-overflow lever),
+    congestion avoidance, duplicate-ACK fast retransmit, and exponential
+    RTO backoff with Linux-like 200 ms minimum / 1 s initial RTO.
+
+    Segmentation follows write boundaries the way a real socket does:
+    when the window is open, each [write] is sent immediately (so a flight
+    spread over several [write]s occupies more, partially-filled
+    segments), while window-blocked bytes coalesce into full MSS
+    segments. Section 5.4's extra round trips emerge from exactly this. *)
+
+type config = {
+  mss : int;  (** payload bytes per segment (1448 on the testbed) *)
+  init_cwnd_segments : int;  (** Linux default 10 *)
+  kernel_cost_ms_per_packet : float;
+      (** CPU charged to the kernel for every packet sent or received *)
+}
+
+val default_config : config
+
+type t
+
+val create_pair :
+  Engine.t -> Link.t -> config -> client:Host.t -> server:Host.t -> t * t
+(** A client and a server endpoint wired through the same link. *)
+
+val connect : t -> on_established:(unit -> unit) -> unit
+(** Client side: run the 3-way handshake. The server side accepts
+    implicitly. *)
+
+val on_receive : t -> (string -> unit) -> unit
+(** In-order application data delivery (byte-stream chunks). *)
+
+val write : t -> ?marks:(int * string) list -> string -> unit
+(** Queue application data. [marks] are (offset within this write, TLS
+    message label) pairs for the passive tap. *)
+
+val close : t -> unit
+(** Send FIN once all queued data is acknowledged. *)
+
+val bytes_sent : t -> int
+(** Wire bytes this endpoint put on the link, including headers, pure
+    ACKs, retransmissions and handshake segments. *)
+
+val packets_sent : t -> int
+val retransmissions : t -> int

@@ -1,0 +1,1 @@
+lib/pqc/costs.mli:

@@ -1,0 +1,1 @@
+lib/pqc/dilithium.ml: Array Bytes Char Crypto Int64 String

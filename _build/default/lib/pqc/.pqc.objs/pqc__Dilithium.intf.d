@@ -1,0 +1,1 @@
+lib/pqc/dilithium.mli: Crypto

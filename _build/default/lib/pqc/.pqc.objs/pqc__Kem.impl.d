@@ -1,0 +1,1 @@
+lib/pqc/kem.ml: Char Crypto Kyber Sim_suites String

@@ -1,0 +1,1 @@
+lib/pqc/kem.mli: Crypto Kyber

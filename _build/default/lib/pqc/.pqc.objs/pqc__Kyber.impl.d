@@ -1,0 +1,1 @@
+lib/pqc/kyber.ml: Array Bytes Char Crypto String

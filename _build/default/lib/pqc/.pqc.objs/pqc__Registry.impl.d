@@ -1,0 +1,1 @@
+lib/pqc/registry.ml: Crypto Dilithium Kem Kyber List Sigalg Slh

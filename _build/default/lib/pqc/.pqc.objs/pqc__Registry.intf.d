@@ -1,0 +1,1 @@
+lib/pqc/registry.mli: Kem Sigalg

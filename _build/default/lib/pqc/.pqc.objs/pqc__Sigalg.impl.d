@@ -1,0 +1,1 @@
+lib/pqc/sigalg.ml: Char Crypto Dilithium Printf Sim_suites Slh String

@@ -1,0 +1,1 @@
+lib/pqc/sigalg.mli: Crypto Dilithium Slh

@@ -1,0 +1,1 @@
+lib/pqc/sim_suites.mli: Crypto

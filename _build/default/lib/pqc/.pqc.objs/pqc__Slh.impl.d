@@ -1,0 +1,1 @@
+lib/pqc/slh.ml: Array Buffer Bytes Char Crypto Int64 List String

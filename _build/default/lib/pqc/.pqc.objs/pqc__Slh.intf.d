@@ -1,0 +1,1 @@
+lib/pqc/slh.mli: Crypto

@@ -1,0 +1,29 @@
+(** CRYSTALS-Dilithium (round-3.1 parameter sets, as in the paper's
+    OQS-OpenSSL): complete implementation with NTT arithmetic mod
+    8380417, rejection sampling, hint encoding and deterministic signing.
+
+    The [_aes] profiles replace SHAKE expansion of the matrix/vectors by
+    AES-256-CTR, mirroring the [dilithiumN_aes] rows of Table 2b. *)
+
+type params
+
+val dilithium2 : params
+val dilithium3 : params
+val dilithium5 : params
+val dilithium2_aes : params
+val dilithium3_aes : params
+val dilithium5_aes : params
+
+val name : params -> string
+val public_key_bytes : params -> int
+val secret_key_bytes : params -> int
+val signature_bytes : params -> int
+
+val keygen : params -> Crypto.Drbg.t -> string * string
+(** [(public_key, secret_key)]. *)
+
+val sign : params -> string -> string -> string
+(** [sign p sk msg] is the deterministic signature. *)
+
+val verify : params -> string -> msg:string -> string -> bool
+(** [verify p pk ~msg signature]. *)

@@ -1,0 +1,34 @@
+(** ML-KEM / CRYSTALS-Kyber (round-3 parameter sets), implemented in full:
+    NTT arithmetic mod 3329, CBD sampling, compression, and the
+    Fujisaki-Okamoto transform.
+
+    Both symmetric-primitive profiles from the paper are provided: the
+    standard SHAKE-based one and the "90s" profile (AES-256-CTR + SHA-2)
+    that Table 2 lists as [kyber90s*]. *)
+
+type params
+
+val kyber512 : params
+val kyber768 : params
+val kyber1024 : params
+val kyber512_90s : params
+val kyber768_90s : params
+val kyber1024_90s : params
+
+val name : params -> string
+val public_key_bytes : params -> int
+val secret_key_bytes : params -> int
+val ciphertext_bytes : params -> int
+
+val shared_secret_bytes : int
+(** Always 32. *)
+
+val keygen : params -> Crypto.Drbg.t -> string * string
+(** [(public_key, secret_key)]. *)
+
+val encaps : params -> Crypto.Drbg.t -> string -> string * string
+(** [encaps p rng pk] is [(ciphertext, shared_secret)]. *)
+
+val decaps : params -> string -> string -> string
+(** [decaps p sk ct] is the shared secret. Implicit rejection: a corrupt
+    ciphertext yields a pseudorandom secret, never an exception. *)

@@ -1,0 +1,136 @@
+(* Sizes for the simulated algorithms are the liboqs 0.8 / NIST-submission
+   values the paper's OQS-OpenSSL shipped. *)
+
+let kyber512 = Kem.of_kyber Kyber.kyber512 ~level:1
+let kyber768 = Kem.of_kyber Kyber.kyber768 ~level:3
+let kyber1024 = Kem.of_kyber Kyber.kyber1024 ~level:5
+let kyber90s512 = Kem.of_kyber Kyber.kyber512_90s ~level:1
+let kyber90s768 = Kem.of_kyber Kyber.kyber768_90s ~level:3
+let kyber90s1024 = Kem.of_kyber Kyber.kyber1024_90s ~level:5
+let x25519 = Kem.x25519
+let p256 = Kem.of_ec_curve Crypto.Ec.p256 ~name:"p256" ~level:1
+let p384 = Kem.of_ec_curve Crypto.Ec.p384 ~name:"p384" ~level:3
+let p521 = Kem.of_ec_curve Crypto.Ec.p521 ~name:"p521" ~level:5
+
+let bikel1 =
+  Kem.simulated ~name:"bikel1" ~level:1 ~public_key_bytes:1541
+    ~ciphertext_bytes:1573 ~shared_secret_bytes:32
+
+let bikel3 =
+  Kem.simulated ~name:"bikel3" ~level:3 ~public_key_bytes:3083
+    ~ciphertext_bytes:3115 ~shared_secret_bytes:32
+
+let hqc128 =
+  Kem.simulated ~name:"hqc128" ~level:1 ~public_key_bytes:2249
+    ~ciphertext_bytes:4497 ~shared_secret_bytes:64
+
+let hqc192 =
+  Kem.simulated ~name:"hqc192" ~level:3 ~public_key_bytes:4522
+    ~ciphertext_bytes:9042 ~shared_secret_bytes:64
+
+let hqc256 =
+  Kem.simulated ~name:"hqc256" ~level:5 ~public_key_bytes:7245
+    ~ciphertext_bytes:14485 ~shared_secret_bytes:64
+
+let kems =
+  [ (* level 1 *)
+    x25519; bikel1; hqc128; kyber512; kyber90s512; p256;
+    Kem.hybrid p256 bikel1; Kem.hybrid p256 hqc128; Kem.hybrid p256 kyber512;
+    (* level 3 *)
+    bikel3; hqc192; kyber768; kyber90s768; p384;
+    Kem.hybrid p384 bikel3; Kem.hybrid p384 hqc192; Kem.hybrid p384 kyber768;
+    (* level 5 *)
+    hqc256; kyber1024; kyber90s1024; p521;
+    Kem.hybrid p521 hqc256; Kem.hybrid p521 kyber1024 ]
+
+let rsa1024 = Sigalg.rsa ~bits:1024 ~level:0
+let rsa2048 = Sigalg.rsa ~bits:2048 ~level:0
+let rsa3072 = Sigalg.rsa ~bits:3072 ~level:1
+let rsa4096 = Sigalg.rsa ~bits:4096 ~level:1
+let ecdsa_p256 = Sigalg.ecdsa Crypto.Ec.p256 ~name:"p256" ~level:1
+let ecdsa_p384 = Sigalg.ecdsa Crypto.Ec.p384 ~name:"p384" ~level:3
+let ecdsa_p521 = Sigalg.ecdsa Crypto.Ec.p521 ~name:"p521" ~level:5
+let dilithium2 = Sigalg.of_dilithium Dilithium.dilithium2 ~level:2
+let dilithium3 = Sigalg.of_dilithium Dilithium.dilithium3 ~level:3
+let dilithium5 = Sigalg.of_dilithium Dilithium.dilithium5 ~level:5
+let dilithium2_aes = Sigalg.of_dilithium Dilithium.dilithium2_aes ~level:2
+let dilithium3_aes = Sigalg.of_dilithium Dilithium.dilithium3_aes ~level:3
+let dilithium5_aes = Sigalg.of_dilithium Dilithium.dilithium5_aes ~level:5
+
+let falcon512 =
+  Sigalg.simulated ~name:"falcon512" ~level:1 ~public_key_bytes:897
+    ~signature_bytes:666
+
+let falcon1024 =
+  Sigalg.simulated ~name:"falcon1024" ~level:5 ~public_key_bytes:1793
+    ~signature_bytes:1280
+
+(* The paper's SPHINCS+ rows are the fastest profile (haraka-Nf-simple);
+   our real implementation runs the same parameter sets over SHAKE (see
+   Slh) with identical wire sizes, so the table names keep the paper
+   spelling. *)
+let sphincs128 =
+  { (Sigalg.of_slh Slh.sphincs128f ~level:1) with Sigalg.name = "sphincs128" }
+
+let sphincs192 =
+  { (Sigalg.of_slh Slh.sphincs192f ~level:3) with Sigalg.name = "sphincs192" }
+
+let sphincs256 =
+  { (Sigalg.of_slh Slh.sphincs256f ~level:5) with Sigalg.name = "sphincs256" }
+
+(* the full variant set behind the paper's `all-sphincs` selection run *)
+let sphincs_variants =
+  [ Sigalg.of_slh Slh.sphincs128f ~level:1;
+    Sigalg.of_slh Slh.sphincs128s ~level:1;
+    Sigalg.of_slh Slh.sphincs192f ~level:3;
+    Sigalg.of_slh Slh.sphincs192s ~level:3;
+    Sigalg.of_slh Slh.sphincs256f ~level:5;
+    Sigalg.of_slh Slh.sphincs256s ~level:5 ]
+
+let sigs =
+  [ rsa1024; rsa2048;
+    (* level 1 *)
+    falcon512; rsa3072; rsa4096; sphincs128;
+    Sigalg.hybrid ecdsa_p256 falcon512; Sigalg.hybrid ecdsa_p256 sphincs128;
+    (* level 2 *)
+    dilithium2; dilithium2_aes; Sigalg.hybrid ecdsa_p256 dilithium2;
+    { (Sigalg.hybrid rsa3072 dilithium2) with Sigalg.name = "rsa3072_dilithium2" }
+    (* Table 4b row; the paper spells the RSA component without a colon *);
+    (* level 3 *)
+    dilithium3; dilithium3_aes; sphincs192;
+    Sigalg.hybrid ecdsa_p384 dilithium3; Sigalg.hybrid ecdsa_p384 sphincs192;
+    (* level 5 *)
+    dilithium5; dilithium5_aes; falcon1024; sphincs256;
+    Sigalg.hybrid ecdsa_p521 dilithium5; Sigalg.hybrid ecdsa_p521 falcon1024;
+    Sigalg.hybrid ecdsa_p521 sphincs256 ]
+
+let find_kem name =
+  match List.find_opt (fun (k : Kem.t) -> k.name = name) kems with
+  | Some k -> k
+  | None -> raise Not_found
+
+let find_sig name =
+  match List.find_opt (fun (s : Sigalg.t) -> s.name = name) sigs with
+  | Some s -> s
+  | None -> raise Not_found
+
+let baseline_kem = x25519
+let baseline_sig = rsa2048
+
+let kem_level (k : Kem.t) = match k.level with 0 | 1 | 2 -> 1 | 3 | 4 -> 3 | _ -> 5
+let sig_level (s : Sigalg.t) = match s.level with 0 | 1 | 2 -> 1 | 3 | 4 -> 3 | _ -> 5
+
+let level_group level `Kem =
+  List.filter
+    (fun (k : Kem.t) -> (not k.hybrid) && kem_level k = level)
+    kems
+
+let level_group_sigs level =
+  List.filter
+    (fun (s : Sigalg.t) ->
+      (not s.hybrid) && sig_level s = level
+      && (* Fig. 3 keeps a single RSA: rsa:3072 *)
+      (match s.name with
+      | "rsa:1024" | "rsa:2048" | "rsa:4096" -> false
+      | _ -> true))
+    sigs

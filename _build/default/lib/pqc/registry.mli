@@ -1,0 +1,35 @@
+(** The full algorithm zoo of the paper: 23 key agreements (Table 2a) and
+    23 signature algorithms (Table 2b, plus the [rsa3072_dilithium2]
+    composite that appears in Table 4b). *)
+
+val kems : Kem.t list
+(** In the paper's table order (grouped by NIST level). *)
+
+val sigs : Sigalg.t list
+
+val find_kem : string -> Kem.t
+(** @raise Not_found for unknown names. *)
+
+val find_sig : string -> Sigalg.t
+
+val baseline_kem : Kem.t
+(** [x25519], the paper's fixed KA when scanning SAs. *)
+
+val baseline_sig : Sigalg.t
+(** [rsa:2048], the paper's fixed SA when scanning KAs. *)
+
+val sphincs_variants : Sigalg.t list
+(** The six SPHINCS+ profiles (f/s at each level) behind the paper's
+    [all-sphincs] fastest-variant selection (Appendix B.6). *)
+
+val level_group : int -> [ `Kem ] -> Kem.t list
+(** Non-hybrid KAs of a level group (1 covers levels 1-2, as in Fig. 3). *)
+
+val level_group_sigs : int -> Sigalg.t list
+(** Non-hybrid SAs of a level group, with only [rsa:3072] for RSA (the
+    paper's Fig. 3 choice). *)
+
+val kem_level : Kem.t -> int
+(** The level group (1, 3 or 5) a KA is listed under in Table 2a. *)
+
+val sig_level : Sigalg.t -> int

@@ -1,0 +1,26 @@
+(** Deterministic, size-exact stand-ins for the PQ algorithms this project
+    does not implement natively (HQC, BIKE, Falcon, SPHINCS+).
+
+    Rationale (see DESIGN.md section 2): the paper's results for these
+    algorithms are a function of (a) exact wire sizes, which we take from
+    the NIST submissions / liboqs, and (b) CPU cost, which comes from the
+    calibration table in {!Costs}. Faithful decoders (BGF for BIKE,
+    Reed-Muller/Reed-Solomon for HQC, Falcon's floating-point Gaussian
+    sampler) would add thousands of lines without changing a single
+    reproduced number, so these stand-ins provide the *functional*
+    contract instead: encapsulation/decapsulation round-trip, signatures
+    verify, corrupted inputs are rejected, and every artifact has exactly
+    the right length. They offer NO security. *)
+
+val kem_keygen :
+  Crypto.Drbg.t -> pk_len:int -> (* pk *) string * (* sk *) string
+
+val kem_encaps :
+  Crypto.Drbg.t -> pk:string -> ct_len:int -> ss_len:int -> string * string
+
+val kem_decaps : sk:string -> ct:string -> pk_len:int -> ss_len:int -> string
+(** Implicit rejection: corrupted ciphertexts give a pseudorandom secret. *)
+
+val sig_keygen : Crypto.Drbg.t -> pk_len:int -> string * string
+val sig_sign : sk:string -> msg:string -> sig_len:int -> pk_len:int -> string
+val sig_verify : pk:string -> msg:string -> string -> bool

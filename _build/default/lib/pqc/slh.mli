@@ -1,0 +1,37 @@
+(** SPHINCS+ / SLH-DSA, implemented in full: WOTS+ one-time signatures,
+    XMSS subtrees, the hypertree, and FORS few-time signatures.
+
+    Instantiation note (documented in DESIGN.md): the paper benchmarks the
+    *haraka-simple* profile; Haraka is an AES-round permutation whose only
+    role is to be a fast tweakable hash. We instantiate the same parameter
+    sets over SHAKE256 ("shake-simple"), which leaves every artifact size
+    identical — signature and key sizes depend only on (n, h, d, a, k, w)
+    — while the speed difference lives in the calibrated cost table like
+    every other algorithm's. Output is therefore not KAT-compatible with
+    the haraka profile, but structurally and dimensionally exact. *)
+
+type params
+
+val sphincs128f : params
+(** The paper's choice: the fastest profile at level 1 (f = fast). *)
+
+val sphincs192f : params
+val sphincs256f : params
+
+val sphincs128s : params
+(** s = small: much smaller signatures, much slower signing; used by the
+    [all-sphincs] variant-selection experiment. *)
+
+val sphincs192s : params
+val sphincs256s : params
+
+val name : params -> string
+val public_key_bytes : params -> int
+val secret_key_bytes : params -> int
+val signature_bytes : params -> int
+
+val keygen : params -> Crypto.Drbg.t -> string * string
+val sign : params -> string -> string -> string
+(** Deterministic (fixed randomizer), like the reference code's default. *)
+
+val verify : params -> string -> msg:string -> string -> bool

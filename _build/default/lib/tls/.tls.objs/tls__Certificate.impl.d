@@ -1,0 +1,1 @@
+lib/tls/certificate.ml: Pqc String Wire

@@ -1,0 +1,1 @@
+lib/tls/certificate.mli: Crypto Pqc

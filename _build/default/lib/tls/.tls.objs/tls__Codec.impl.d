@@ -1,0 +1,1 @@
+lib/tls/codec.ml: Buffer Char Record String Wire

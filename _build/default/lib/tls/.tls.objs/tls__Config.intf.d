@@ -1,0 +1,1 @@
+lib/tls/config.mli: Pqc

@@ -1,0 +1,1 @@
+lib/tls/credentials.ml: Certificate Crypto Hashtbl Pqc

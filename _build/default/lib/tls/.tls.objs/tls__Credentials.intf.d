@@ -1,0 +1,1 @@
+lib/tls/credentials.mli: Certificate Pqc

@@ -1,0 +1,1 @@
+lib/tls/handshake.ml: Buffer Certificate Char Codec Config Credentials Crypto Float Key_schedule List Messages Netsim Option Pqc Printf Record String Transcript Wire

@@ -1,0 +1,1 @@
+lib/tls/handshake.mli: Config Crypto Netsim

@@ -1,0 +1,1 @@
+lib/tls/key_schedule.ml: Crypto String Wire

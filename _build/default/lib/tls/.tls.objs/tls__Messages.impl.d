@@ -1,0 +1,1 @@
+lib/tls/messages.ml: Certificate Char Crypto List String Wire

@@ -1,0 +1,1 @@
+lib/tls/messages.mli: Certificate Wire

@@ -1,0 +1,1 @@
+lib/tls/record.ml: Char Crypto Int64 Key_schedule String Wire

@@ -1,0 +1,1 @@
+lib/tls/transcript.mli:

@@ -1,0 +1,1 @@
+lib/tls/wire.ml: Char Crypto Printf String

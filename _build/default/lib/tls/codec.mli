@@ -1,0 +1,48 @@
+(** Byte-stream plumbing between TCP and the handshake logic: a
+    consumable buffer, TLS record parsing/decryption, handshake-message
+    reassembly, and fragmentation of outgoing messages into records. *)
+
+module Consumable : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> string -> unit
+  val length : t -> int
+  (** Unconsumed bytes. *)
+
+  val peek : t -> int -> string option
+  (** [peek t n] is the next [n] bytes without consuming, if available. *)
+
+  val consume : t -> int -> unit
+end
+
+module Inbound : sig
+  type t
+  (** Record parser + handshake reassembler for one read direction. *)
+
+  type event =
+    | Handshake_message of string  (** complete message, header included *)
+    | Change_cipher_spec
+    | Need_more_data
+
+  val create : unit -> t
+  val feed : t -> string -> unit
+  val enable_decryption : t -> Record.t -> unit
+  (** All subsequent application_data records are opened with this state. *)
+
+  val next : t -> event
+  (** Pull-driven: the state machine asks for the next event only when it
+      is ready to process it (CPU-serialized), so records that arrive
+      before the traffic keys exist stay buffered and undecrypted.
+      @raise Wire.Decode_error on malformed input or failed decryption. *)
+end
+
+val max_fragment : int
+(** 2^14, RFC 8446 section 5.1. *)
+
+val fragment_plaintext : string -> string
+(** Wrap a handshake message into one or more plaintext records. *)
+
+val fragment_encrypted : Record.t -> string -> string
+(** Wrap into encrypted application_data records, advancing the write
+    state. *)

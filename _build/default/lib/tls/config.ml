@@ -1,0 +1,20 @@
+type buffering = Default_buffered | Optimized_push
+
+type t = {
+  kem : Pqc.Kem.t;
+  sig_alg : Pqc.Sigalg.t;
+  buffering : buffering;
+  buffer_limit : int;
+  null_records : bool;
+  wrong_first_key_share : bool;
+}
+
+let make ?(buffering = Optimized_push) ?(buffer_limit = 4096)
+    ?(wrong_first_key_share = false) kem sig_alg =
+  { kem; sig_alg; buffering; buffer_limit;
+    null_records = kem.Pqc.Kem.mocked || sig_alg.Pqc.Sigalg.mocked;
+    wrong_first_key_share }
+
+let mocked ?buffering ?buffer_limit ?wrong_first_key_share kem sig_alg =
+  make ?buffering ?buffer_limit ?wrong_first_key_share (Pqc.Kem.mocked kem)
+    (Pqc.Sigalg.mocked sig_alg)

@@ -1,0 +1,46 @@
+(** Handshake configuration: the KA x SA pair under test and the OpenSSL
+    message-buffering behaviour (section 4 of the paper). *)
+
+type buffering =
+  | Default_buffered
+      (** OpenSSL's stock BIO buffer: the whole server flight is
+          accumulated and flushed after CertificateVerify, unless a
+          message overflows the 4096-byte buffer, which pushes everything
+          computed so far (notably the SH) early. *)
+  | Optimized_push
+      (** The paper's patch: SH and Certificate are pushed to TCP the
+          moment they are computed. *)
+
+type t = {
+  kem : Pqc.Kem.t;
+  sig_alg : Pqc.Sigalg.t;
+  buffering : buffering;
+  buffer_limit : int;  (** 4096 in OpenSSL *)
+  null_records : bool;
+      (** size-preserving record protection; implied by mocked algorithms *)
+  wrong_first_key_share : bool;
+      (** the client's pre-computed key share misses the server's group,
+          forcing the HelloRetryRequest 2-RTT fallback the paper
+          deliberately configured away (section 2) — exposed here so its
+          cost can be measured *)
+}
+
+val make :
+  ?buffering:buffering ->
+  ?buffer_limit:int ->
+  ?wrong_first_key_share:bool ->
+  Pqc.Kem.t ->
+  Pqc.Sigalg.t ->
+  t
+(** Defaults: [Optimized_push], 4096, correct key-share guess (the
+    paper's setting for Section 5 unless stated otherwise). *)
+
+val mocked :
+  ?buffering:buffering ->
+  ?buffer_limit:int ->
+  ?wrong_first_key_share:bool ->
+  Pqc.Kem.t ->
+  Pqc.Sigalg.t ->
+  t
+(** [make] over {!Pqc.Kem.mocked}/{!Pqc.Sigalg.mocked} algorithms: what
+    the measurement campaigns use (see DESIGN.md on host-time flatness). *)

@@ -1,0 +1,20 @@
+type t = {
+  chain : Certificate.chain;
+  server_key : Pqc.Sigalg.keypair;
+  alg : Pqc.Sigalg.t;
+}
+
+let cache : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let get alg =
+  let name =
+    alg.Pqc.Sigalg.name ^ if alg.Pqc.Sigalg.mocked then "#mocked" else ""
+  in
+  match Hashtbl.find_opt cache name with
+  | Some c -> c
+  | None ->
+    let rng = Crypto.Drbg.create ~seed:("credentials/" ^ name) in
+    let chain, server_key = Certificate.make_chain alg rng in
+    let c = { chain; server_key; alg } in
+    Hashtbl.add cache name c;
+    c

@@ -1,0 +1,13 @@
+(** Server credentials (certificate chain + private key), generated once
+    per signature algorithm and cached: the paper pre-provisions one
+    certificate per SA, so certificate generation is never part of a
+    measured handshake. *)
+
+type t = {
+  chain : Certificate.chain;
+  server_key : Pqc.Sigalg.keypair;
+  alg : Pqc.Sigalg.t;
+}
+
+val get : Pqc.Sigalg.t -> t
+(** Cached by algorithm name; deterministic (seeded by the name). *)

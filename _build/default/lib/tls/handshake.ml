@@ -1,0 +1,449 @@
+module K = Key_schedule
+module M = Messages
+
+type result = {
+  client_finished_at : float;
+  server_finished_at : float;
+  client_tcp : Netsim.Tcp.t;
+  server_tcp : Netsim.Tcp.t;
+}
+
+let charge host (op : Pqc.Costs.op) k =
+  Netsim.Host.charge host ~ms:op.Pqc.Costs.ms
+    ~lib:(Pqc.Costs.lib_name op.Pqc.Costs.lib) ~k
+
+let charge_n host (op : Pqc.Costs.op) n k =
+  Netsim.Host.charge host
+    ~ms:(op.Pqc.Costs.ms *. float_of_int n)
+    ~lib:(Pqc.Costs.lib_name op.Pqc.Costs.lib) ~k
+
+let ccs_record = Wire.record Wire.Content_type.Change_cipher_spec "\x01"
+
+let make_record cfg traffic_secret =
+  if cfg.Config.null_records then Record.create_null ()
+  else Record.create (K.traffic_keys traffic_secret)
+
+(* HelloRetryRequest: a ServerHello whose random is the RFC 8446 magic *)
+let hrr_random =
+  Crypto.Bytesx.of_hex
+    "cf21ad74e59a6111be1d8c021e65b891c2a211167abb8c5e079e09e2c8a8339c"
+
+let encode_hrr ~session_id ~group =
+  M.encode_server_hello
+    { M.sh_random = hrr_random; sh_session_id = session_id; sh_group = group;
+      sh_key_share = "" }
+
+let is_hrr (sh : M.server_hello) = String.equal sh.M.sh_random hrr_random
+
+
+(* ---- per-peer plumbing -------------------------------------------------- *)
+
+type peer = {
+  host : Netsim.Host.t;
+  tcp : Netsim.Tcp.t;
+  inbound : Codec.Inbound.t;
+  mutable transcript : Transcript.t;
+  mutable busy : bool;
+  mutable done_ : bool;
+  mutable dispatch : peer -> string -> unit;
+}
+
+let rec make_peer host tcp =
+  let p =
+    { host; tcp; inbound = Codec.Inbound.create ();
+      transcript = Transcript.create (); busy = false; done_ = false;
+      dispatch = (fun _ _ -> ()) }
+  in
+  Netsim.Tcp.on_receive tcp (fun bytes ->
+      Codec.Inbound.feed p.inbound bytes;
+      step p);
+  p
+
+and step p =
+  if (not p.busy) && not p.done_ then begin
+    match Codec.Inbound.next p.inbound with
+    | Codec.Inbound.Need_more_data -> ()
+    | Codec.Inbound.Change_cipher_spec -> step p
+    | Codec.Inbound.Handshake_message msg ->
+      p.busy <- true;
+      p.dispatch p msg
+  end
+
+let finish_step p =
+  p.busy <- false;
+  step p
+
+(* RFC 8446 4.4.1: after an HRR, CH1 is replaced in the transcript by a
+   synthetic message_hash message *)
+let restart_transcript_after_ch1 (p : peer) hrr_msg =
+  let ch1_hash = Transcript.current p.transcript in
+  let fresh = Transcript.create () in
+  Transcript.add fresh ("\xfe\x00\x00" ^ String.make 1 (Char.chr 32) ^ ch1_hash);
+  Transcript.add fresh hrr_msg;
+  p.transcript <- fresh
+
+(* ---- outgoing flight buffer (models the OpenSSL BIO buffer) ------------ *)
+
+type flight = {
+  cfg : Config.t;
+  peer : peer;
+  buf : Buffer.t;
+  mutable fmarks : (int * string) list;
+}
+
+let make_flight cfg peer = { cfg; peer; buf = Buffer.create 4096; fmarks = [] }
+
+let flight_flush f =
+  if Buffer.length f.buf > 0 then begin
+    Netsim.Tcp.write f.peer.tcp ~marks:(List.rev f.fmarks) (Buffer.contents f.buf);
+    Buffer.clear f.buf;
+    f.fmarks <- []
+  end
+
+let flight_append f ?label records =
+  (match label with
+  | Some l -> f.fmarks <- (Buffer.length f.buf, l) :: f.fmarks
+  | None -> ());
+  Buffer.add_string f.buf records
+
+(* Default-buffered mode: adding data that would overflow the BIO buffer
+   first flushes what is pending; oversized chunks then go straight out. *)
+let flight_emit f ?label records =
+  match f.cfg.Config.buffering with
+  | Config.Optimized_push -> flight_append f ?label records
+  | Config.Default_buffered ->
+    let len = String.length records in
+    if Buffer.length f.buf + len > f.cfg.Config.buffer_limit then flight_flush f;
+    if len > f.cfg.Config.buffer_limit then
+      Netsim.Tcp.write f.peer.tcp
+        ~marks:(match label with Some l -> [ (0, l) ] | None -> [])
+        records
+    else flight_append f ?label records
+
+(* flush point honoured only by the optimized server *)
+let flight_push_point f =
+  match f.cfg.Config.buffering with
+  | Config.Optimized_push -> flight_flush f
+  | Config.Default_buffered -> ()
+
+(* ---- server ------------------------------------------------------------- *)
+
+type server_ctx = {
+  s_cfg : Config.t;
+  s_creds : Credentials.t;
+  s_rng : Crypto.Drbg.t;
+  s_flight : flight;
+  mutable s_secrets : K.secrets option;
+  mutable s_write : Record.t option;
+  mutable s_client_hs_secret : string;
+  mutable s_expect : [ `Client_hello | `Client_finished ];
+  s_on_done : unit -> unit;
+}
+
+let server_encrypt ctx msg =
+  match ctx.s_write with
+  | None -> Codec.fragment_plaintext msg
+  | Some crypt -> Codec.fragment_encrypted crypt msg
+
+let kem_costs cfg = Pqc.Costs.kem cfg.Config.kem.Pqc.Kem.name
+let sig_costs cfg = Pqc.Costs.sig_ cfg.Config.sig_alg.Pqc.Sigalg.name
+
+let server_on_client_hello ctx (p : peer) msg =
+  let cfg = ctx.s_cfg in
+  let parse_cost =
+    { Pqc.Costs.parse_client_hello with
+      Pqc.Costs.ms =
+        Pqc.Costs.parse_client_hello.Pqc.Costs.ms
+        +. (sig_costs cfg).Pqc.Costs.ch_overhead }
+  in
+  charge p.host parse_cost @@ fun () ->
+  let ch = M.decode_client_hello msg in
+  if ch.M.group <> cfg.Config.kem.Pqc.Kem.name then begin
+    (* wrong key-share guess: answer with HelloRetryRequest (2-RTT path) *)
+    Transcript.add p.transcript msg;
+    let hrr = encode_hrr ~session_id:ch.M.session_id
+                ~group:cfg.Config.kem.Pqc.Kem.name in
+    restart_transcript_after_ch1 p hrr;
+    charge p.host Pqc.Costs.build_server_flight @@ fun () ->
+    Netsim.Tcp.write p.tcp ~marks:[ (0, "HRR") ] (Codec.fragment_plaintext hrr);
+    finish_step p
+  end
+  else
+  charge p.host (kem_costs cfg).Pqc.Costs.kem_encaps @@ fun () ->
+  let ct, shared_secret = cfg.Config.kem.Pqc.Kem.encaps ctx.s_rng ch.M.key_share in
+  Transcript.add p.transcript msg;
+  let sh =
+    M.encode_server_hello
+      { M.sh_random = Crypto.Drbg.generate ctx.s_rng 32;
+        sh_session_id = ch.M.session_id;
+        sh_group = cfg.Config.kem.Pqc.Kem.name;
+        sh_key_share = ct }
+  in
+  Transcript.add p.transcript sh;
+  charge p.host Pqc.Costs.build_server_flight @@ fun () ->
+  charge_n p.host Pqc.Costs.key_schedule_derive 4 @@ fun () ->
+  let hello_hash = Transcript.current p.transcript in
+  let secrets = K.handshake_secrets ~shared_secret ~hello_transcript_hash:hello_hash in
+  ctx.s_secrets <- Some secrets;
+  ctx.s_client_hs_secret <- secrets.K.client_handshake_traffic;
+  (* ServerHello and the compatibility CCS travel in the clear *)
+  flight_emit ctx.s_flight ~label:"SH" (Codec.fragment_plaintext sh);
+  flight_emit ctx.s_flight ccs_record;
+  ctx.s_write <- Some (make_record cfg secrets.K.server_handshake_traffic);
+  flight_push_point ctx.s_flight;
+  (* EncryptedExtensions + Certificate do not wait for the signature *)
+  let ee = M.encode_encrypted_extensions () in
+  Transcript.add p.transcript ee;
+  flight_emit ctx.s_flight ~label:"EE" (server_encrypt ctx ee);
+  let cert_msg = M.encode_certificate ctx.s_creds.Credentials.chain.Certificate.leaf in
+  Transcript.add p.transcript cert_msg;
+  flight_emit ctx.s_flight ~label:"CERT" (server_encrypt ctx cert_msg);
+  flight_push_point ctx.s_flight;
+  charge p.host (sig_costs cfg).Pqc.Costs.sign @@ fun () ->
+  let cv_content =
+    M.cv_signed_content ~transcript_hash:(Transcript.current p.transcript)
+  in
+  let signature =
+    cfg.Config.sig_alg.Pqc.Sigalg.sign ctx.s_rng
+      ~secret:ctx.s_creds.Credentials.server_key.Pqc.Sigalg.secret cv_content
+  in
+  let cv =
+    M.encode_certificate_verify
+      { M.cv_algorithm = cfg.Config.sig_alg.Pqc.Sigalg.name;
+        cv_signature = signature }
+  in
+  Transcript.add p.transcript cv;
+  flight_emit ctx.s_flight ~label:"CV" (server_encrypt ctx cv);
+  charge p.host Pqc.Costs.key_schedule_derive @@ fun () ->
+  let mac =
+    K.finished_mac
+      ~traffic_secret:(Option.get ctx.s_secrets).K.server_handshake_traffic
+      ~transcript_hash:(Transcript.current p.transcript)
+  in
+  let fin = M.encode_finished mac in
+  Transcript.add p.transcript fin;
+  flight_emit ctx.s_flight ~label:"FIN" (server_encrypt ctx fin);
+  flight_flush ctx.s_flight;
+  ctx.s_expect <- `Client_finished;
+  (* client Finished arrives under the client handshake traffic keys *)
+  Codec.Inbound.enable_decryption p.inbound
+    (make_record cfg ctx.s_client_hs_secret);
+  finish_step p
+
+let server_on_client_finished ctx (p : peer) msg =
+  charge p.host Pqc.Costs.key_schedule_derive @@ fun () ->
+  let expected =
+    K.finished_mac ~traffic_secret:ctx.s_client_hs_secret
+      ~transcript_hash:(Transcript.current p.transcript)
+  in
+  if not (Crypto.Bytesx.equal_ct (M.decode_finished msg) expected) then
+    raise (Wire.Decode_error "client Finished MAC mismatch");
+  Transcript.add p.transcript msg;
+  p.done_ <- true;
+  ctx.s_on_done ();
+  finish_step p
+
+let server_dispatch ctx p msg =
+  match ctx.s_expect with
+  | `Client_hello -> server_on_client_hello ctx p msg
+  | `Client_finished -> server_on_client_finished ctx p msg
+
+(* ---- client ------------------------------------------------------------- *)
+
+type client_ctx = {
+  c_cfg : Config.t;
+  c_rng : Crypto.Drbg.t;
+  c_creds : Credentials.t; (* for the trusted CA public key *)
+  mutable c_keypair : Pqc.Kem.keypair option;
+  mutable c_session_id : string;
+  mutable c_retried : bool;
+  mutable c_secrets : K.secrets option;
+  mutable c_expect :
+    [ `Server_hello | `Encrypted_extensions | `Certificate | `Cert_verify
+    | `Finished ];
+  mutable c_server_cert : Certificate.t option;
+  c_on_done : unit -> unit;
+}
+
+let client_dispatch ctx (p : peer) msg =
+  let cfg = ctx.c_cfg in
+  match (ctx.c_expect, M.handshake_type msg) with
+  | `Server_hello, Wire.Handshake_type.Server_hello
+    when is_hrr (M.decode_server_hello msg) ->
+    if ctx.c_retried then raise (Wire.Decode_error "second HelloRetryRequest");
+    ctx.c_retried <- true;
+    charge p.host Pqc.Costs.parse_server_flight @@ fun () ->
+    restart_transcript_after_ch1 p msg;
+    (* now compute the share the server actually wants *)
+    charge p.host (kem_costs cfg).Pqc.Costs.kem_keygen @@ fun () ->
+    ctx.c_keypair <- Some (cfg.Config.kem.Pqc.Kem.keygen ctx.c_rng);
+    let ch2 =
+      M.encode_client_hello
+        { M.random = Crypto.Drbg.generate ctx.c_rng 32;
+          session_id = ctx.c_session_id;
+          group = cfg.Config.kem.Pqc.Kem.name;
+          key_share = (Option.get ctx.c_keypair).Pqc.Kem.public;
+          sig_algs = [ cfg.Config.sig_alg.Pqc.Sigalg.name ] }
+    in
+    Transcript.add p.transcript ch2;
+    Netsim.Tcp.write p.tcp ~marks:[ (0, "CH2") ] (Codec.fragment_plaintext ch2);
+    finish_step p
+  | `Server_hello, Wire.Handshake_type.Server_hello ->
+    charge p.host Pqc.Costs.parse_server_flight @@ fun () ->
+    let sh = M.decode_server_hello msg in
+    charge p.host (kem_costs cfg).Pqc.Costs.kem_decaps @@ fun () ->
+    let keypair = Option.get ctx.c_keypair in
+    let shared_secret =
+      cfg.Config.kem.Pqc.Kem.decaps keypair.Pqc.Kem.secret sh.M.sh_key_share
+    in
+    Transcript.add p.transcript msg;
+    charge_n p.host Pqc.Costs.key_schedule_derive 4 @@ fun () ->
+    let secrets =
+      K.handshake_secrets ~shared_secret
+        ~hello_transcript_hash:(Transcript.current p.transcript)
+    in
+    ctx.c_secrets <- Some secrets;
+    Codec.Inbound.enable_decryption p.inbound
+      (make_record cfg secrets.K.server_handshake_traffic);
+    ctx.c_expect <- `Encrypted_extensions;
+    finish_step p
+  | `Encrypted_extensions, Wire.Handshake_type.Encrypted_extensions ->
+    Transcript.add p.transcript msg;
+    ctx.c_expect <- `Certificate;
+    finish_step p
+  | `Certificate, Wire.Handshake_type.Certificate ->
+    let cert = M.decode_certificate msg in
+    charge p.host (sig_costs cfg).Pqc.Costs.verify @@ fun () ->
+    (* PKI check: leaf signature under the trusted CA key *)
+    let chain =
+      { Certificate.leaf = cert;
+        ca_public_key = ctx.c_creds.Credentials.chain.Certificate.ca_public_key }
+    in
+    if not (Certificate.verify chain cfg.Config.sig_alg) then
+      raise (Wire.Decode_error "certificate chain verification failed");
+    ctx.c_server_cert <- Some cert;
+    Transcript.add p.transcript msg;
+    ctx.c_expect <- `Cert_verify;
+    finish_step p
+  | `Cert_verify, Wire.Handshake_type.Certificate_verify ->
+    let cv = M.decode_certificate_verify msg in
+    let content =
+      M.cv_signed_content ~transcript_hash:(Transcript.current p.transcript)
+    in
+    charge p.host (sig_costs cfg).Pqc.Costs.verify @@ fun () ->
+    let cert = Option.get ctx.c_server_cert in
+    if
+      not
+        (cfg.Config.sig_alg.Pqc.Sigalg.verify ~public:cert.Certificate.public_key
+           ~msg:content cv.M.cv_signature)
+    then raise (Wire.Decode_error "CertificateVerify signature invalid");
+    Transcript.add p.transcript msg;
+    ctx.c_expect <- `Finished;
+    finish_step p
+  | `Finished, Wire.Handshake_type.Finished ->
+    charge p.host Pqc.Costs.key_schedule_derive @@ fun () ->
+    let secrets = Option.get ctx.c_secrets in
+    let expected =
+      K.finished_mac ~traffic_secret:secrets.K.server_handshake_traffic
+        ~transcript_hash:(Transcript.current p.transcript)
+    in
+    if not (Crypto.Bytesx.equal_ct (M.decode_finished msg) expected) then
+      raise (Wire.Decode_error "server Finished MAC mismatch");
+    Transcript.add p.transcript msg;
+    charge p.host Pqc.Costs.build_client_finished @@ fun () ->
+    let mac =
+      K.finished_mac ~traffic_secret:secrets.K.client_handshake_traffic
+        ~transcript_hash:(Transcript.current p.transcript)
+    in
+    let fin = M.encode_finished mac in
+    Transcript.add p.transcript fin;
+    let crypt = make_record cfg secrets.K.client_handshake_traffic in
+    let records = ccs_record ^ Codec.fragment_encrypted crypt fin in
+    Netsim.Tcp.write p.tcp ~marks:[ (0, "FIN_C") ] records;
+    (* application traffic secrets, as OpenSSL derives them eagerly *)
+    charge_n p.host Pqc.Costs.key_schedule_derive 2 @@ fun () ->
+    ignore
+      (K.application_secrets ~master:secrets.K.master
+         ~finished_transcript_hash:(Transcript.current p.transcript));
+    p.done_ <- true;
+    ctx.c_on_done ();
+    finish_step p
+  | _, ty ->
+    raise
+      (Wire.Decode_error
+         (Printf.sprintf "unexpected %s" (Wire.Handshake_type.label ty)))
+
+(* ---- driver ------------------------------------------------------------- *)
+
+let run ~engine ~link ~tcp_config ~client_host ~server_host ~config ~rng
+    ~on_done =
+  let client_tcp, server_tcp =
+    Netsim.Tcp.create_pair engine link tcp_config ~client:client_host
+      ~server:server_host
+  in
+  let client_peer = make_peer client_host client_tcp in
+  let server_peer = make_peer server_host server_tcp in
+  let creds = Credentials.get config.Config.sig_alg in
+  let client_done_at = ref nan and server_done_at = ref nan in
+  let maybe_done () =
+    if not (Float.is_nan !client_done_at || Float.is_nan !server_done_at) then
+      on_done
+        { client_finished_at = !client_done_at;
+          server_finished_at = !server_done_at;
+          client_tcp;
+          server_tcp }
+  in
+  let server_ctx =
+    { s_cfg = config; s_creds = creds; s_rng = Crypto.Drbg.fork rng "server";
+      s_flight = make_flight config server_peer; s_secrets = None;
+      s_write = None; s_client_hs_secret = ""; s_expect = `Client_hello;
+      s_on_done =
+        (fun () ->
+          server_done_at := Netsim.Engine.now engine;
+          maybe_done ()) }
+  in
+  server_peer.dispatch <- (fun p msg -> server_dispatch server_ctx p msg);
+  let client_ctx =
+    { c_cfg = config; c_rng = Crypto.Drbg.fork rng "client"; c_creds = creds;
+      c_keypair = None; c_session_id = ""; c_retried = false;
+      c_secrets = None; c_expect = `Server_hello;
+      c_server_cert = None;
+      c_on_done =
+        (fun () ->
+          client_done_at := Netsim.Engine.now engine;
+          maybe_done ()) }
+  in
+  client_peer.dispatch <- (fun p msg -> client_dispatch client_ctx p msg);
+  (* the client pre-computes its key share, then opens the connection;
+     none of this is inside the measured phases (Fig. 1). With
+     [wrong_first_key_share] it guesses a group the server will refuse. *)
+  let guess_cost =
+    if config.Config.wrong_first_key_share then
+      (Pqc.Costs.kem "x25519").Pqc.Costs.kem_keygen
+    else (kem_costs config).Pqc.Costs.kem_keygen
+  in
+  charge client_host guess_cost @@ fun () ->
+  let first_group, first_share =
+    if config.Config.wrong_first_key_share then
+      ("wrong-guess", Crypto.Drbg.generate client_ctx.c_rng 32)
+    else begin
+      client_ctx.c_keypair <-
+        Some (config.Config.kem.Pqc.Kem.keygen client_ctx.c_rng);
+      ( config.Config.kem.Pqc.Kem.name,
+        (Option.get client_ctx.c_keypair).Pqc.Kem.public )
+    end
+  in
+  Netsim.Tcp.connect client_tcp ~on_established:(fun () ->
+      charge client_host Pqc.Costs.build_client_finished @@ fun () ->
+      client_ctx.c_session_id <- Crypto.Drbg.generate client_ctx.c_rng 32;
+      let ch =
+        M.encode_client_hello
+          { M.random = Crypto.Drbg.generate client_ctx.c_rng 32;
+            session_id = client_ctx.c_session_id;
+            group = first_group;
+            key_share = first_share;
+            sig_algs = [ config.Config.sig_alg.Pqc.Sigalg.name ] }
+      in
+      Transcript.add client_peer.transcript ch;
+      Netsim.Tcp.write client_tcp ~marks:[ (0, "CH") ]
+        (Codec.fragment_plaintext ch))

@@ -1,0 +1,30 @@
+(** The full simulated TLS 1.3 1-RTT handshake: client and server state
+    machines running over simulated TCP, performing the real cryptography
+    of the configured KA x SA pair and charging each host the calibrated
+    virtual CPU cost of every operation.
+
+    The server reproduces both OpenSSL flight-assembly behaviours from
+    the paper (section 4): the stock 4096-byte buffer and the optimized
+    push of ServerHello/Certificate. *)
+
+type result = {
+  client_finished_at : float;
+      (** virtual time at which the client's Finished hit TCP *)
+  server_finished_at : float;  (** server validated the client Finished *)
+  client_tcp : Netsim.Tcp.t;
+  server_tcp : Netsim.Tcp.t;
+}
+
+val run :
+  engine:Netsim.Engine.t ->
+  link:Netsim.Link.t ->
+  tcp_config:Netsim.Tcp.config ->
+  client_host:Netsim.Host.t ->
+  server_host:Netsim.Host.t ->
+  config:Config.t ->
+  rng:Crypto.Drbg.t ->
+  on_done:(result -> unit) ->
+  unit
+(** Creates a fresh connection, runs one handshake and reports both
+    completion times. Raises [Wire.Decode_error] on protocol corruption
+    (which a correct simulation never produces). *)

@@ -1,0 +1,58 @@
+type secrets = {
+  client_handshake_traffic : string;
+  server_handshake_traffic : string;
+  master : string;
+}
+
+let hash = Crypto.Hmac.sha256
+let zeros = String.make hash.Crypto.Hmac.digest_size '\000'
+
+let hkdf_expand_label ~secret ~label ~context len =
+  let hkdf_label =
+    Crypto.Bytesx.u16_be len
+    ^ Wire.vec8 ("tls13 " ^ label)
+    ^ Wire.vec8 context
+  in
+  Crypto.Hkdf.expand hash ~prk:secret ~info:hkdf_label len
+
+let derive_secret ~secret ~label ~transcript_hash =
+  hkdf_expand_label ~secret ~label ~context:transcript_hash
+    hash.Crypto.Hmac.digest_size
+
+let empty_hash = hash.Crypto.Hmac.digest ""
+
+let handshake_secrets ~shared_secret ~hello_transcript_hash =
+  let early = Crypto.Hkdf.extract hash ~salt:"" ~ikm:zeros in
+  let derived = derive_secret ~secret:early ~label:"derived" ~transcript_hash:empty_hash in
+  let hs = Crypto.Hkdf.extract hash ~salt:derived ~ikm:shared_secret in
+  let client_handshake_traffic =
+    derive_secret ~secret:hs ~label:"c hs traffic"
+      ~transcript_hash:hello_transcript_hash
+  and server_handshake_traffic =
+    derive_secret ~secret:hs ~label:"s hs traffic"
+      ~transcript_hash:hello_transcript_hash
+  in
+  let hs_derived =
+    derive_secret ~secret:hs ~label:"derived" ~transcript_hash:empty_hash
+  in
+  let master = Crypto.Hkdf.extract hash ~salt:hs_derived ~ikm:zeros in
+  { client_handshake_traffic; server_handshake_traffic; master }
+
+type traffic_keys = { key : string; iv : string }
+
+let traffic_keys secret =
+  { key = hkdf_expand_label ~secret ~label:"key" ~context:"" 16;
+    iv = hkdf_expand_label ~secret ~label:"iv" ~context:"" 12 }
+
+let finished_mac ~traffic_secret ~transcript_hash =
+  let finished_key =
+    hkdf_expand_label ~secret:traffic_secret ~label:"finished" ~context:""
+      hash.Crypto.Hmac.digest_size
+  in
+  Crypto.Hmac.hmac hash ~key:finished_key transcript_hash
+
+let application_secrets ~master ~finished_transcript_hash =
+  ( derive_secret ~secret:master ~label:"c ap traffic"
+      ~transcript_hash:finished_transcript_hash,
+    derive_secret ~secret:master ~label:"s ap traffic"
+      ~transcript_hash:finished_transcript_hash )

@@ -1,0 +1,32 @@
+(** The TLS 1.3 key schedule (RFC 8446 section 7.1) on HKDF-SHA256,
+    including HKDF-Expand-Label and the Finished MAC. *)
+
+type secrets = {
+  client_handshake_traffic : string;
+  server_handshake_traffic : string;
+  master : string;
+}
+
+val hash : Crypto.Hmac.hash
+(** The cipher-suite hash (SHA-256 for TLS_AES_128_GCM_SHA256). *)
+
+val hkdf_expand_label :
+  secret:string -> label:string -> context:string -> int -> string
+
+val derive_secret : secret:string -> label:string -> transcript_hash:string -> string
+
+val handshake_secrets :
+  shared_secret:string -> hello_transcript_hash:string -> secrets
+(** Early secret (no PSK) -> handshake secret -> traffic secrets and the
+    master secret, exactly as the RFC's diagram. *)
+
+type traffic_keys = { key : string; iv : string }
+
+val traffic_keys : string -> traffic_keys
+(** AEAD key/IV from a traffic secret (AES-128-GCM sizes). *)
+
+val finished_mac : traffic_secret:string -> transcript_hash:string -> string
+
+val application_secrets :
+  master:string -> finished_transcript_hash:string -> string * string
+(** [(client_app_traffic, server_app_traffic)]. *)

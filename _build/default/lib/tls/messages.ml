@@ -1,0 +1,193 @@
+module W = Wire
+module HT = Wire.Handshake_type
+
+type client_hello = {
+  random : string;
+  session_id : string;
+  group : string;
+  key_share : string;
+  sig_algs : string list;
+}
+
+type server_hello = {
+  sh_random : string;
+  sh_session_id : string;
+  sh_group : string;
+  sh_key_share : string;
+}
+
+type certificate_verify = { cv_algorithm : string; cv_signature : string }
+
+(* cipher suites offered: TLS_AES_128_GCM_SHA256, TLS_AES_256_GCM_SHA384,
+   TLS_CHACHA20_POLY1305_SHA256 *)
+let cipher_suites = "\x13\x01\x13\x02\x13\x03"
+let selected_suite = "\x13\x01"
+
+let extension ty body = Crypto.Bytesx.u16_be ty ^ W.vec16 body
+
+(* The OpenSSL s_client CH also carries SNI, EC point formats, session
+   ticket, encrypt-then-mac, extended master secret, PSK modes and
+   padding-free framing; modelled with realistic bodies. *)
+let client_extensions ch =
+  let sni =
+    extension 0 (W.vec16 ("\x00" ^ W.vec16 "server.pqtls.example"))
+  in
+  let supported_versions = extension 43 (W.vec8 "\x03\x04") in
+  let groups =
+    (* the client announces a handful of groups; two bytes each *)
+    let ids = String.concat "" (List.init 12 (fun i -> Crypto.Bytesx.u16_be (0x0100 + i))) in
+    extension 10 (W.vec16 ids)
+  in
+  let sig_algs =
+    let ids =
+      String.concat ""
+        (List.init (max 17 (List.length ch.sig_algs)) (fun i ->
+             Crypto.Bytesx.u16_be (0x0800 + i)))
+    in
+    extension 13 (W.vec16 ids)
+  in
+  let key_share =
+    extension 51 (W.vec16 (Crypto.Bytesx.u16_be 0x0199 ^ W.vec16 ch.key_share))
+  in
+  let psk_modes = extension 45 (W.vec8 "\x01") in
+  let misc =
+    (* session ticket, EMS, EtM, record size limit: fixed small bodies *)
+    extension 35 "" ^ extension 23 "" ^ extension 22 "" ^ extension 28 "\x40\x01"
+  in
+  (* group and algorithm names ride in a private extension so the peer
+     can resolve the exact algorithm without a numeric registry *)
+  let names = extension 0xfd00 (W.vec8 ch.group ^ W.vec8 (String.concat "," ch.sig_algs)) in
+  W.vec16
+    (sni ^ supported_versions ^ groups ^ sig_algs ^ key_share ^ psk_modes
+   ^ misc ^ names)
+
+let encode_client_hello ch =
+  let body =
+    "\x03\x03" ^ ch.random ^ W.vec8 ch.session_id ^ W.vec16 cipher_suites
+    ^ W.vec8 "\x00" (* null compression *)
+    ^ client_extensions ch
+  in
+  W.handshake HT.Client_hello body
+
+let find_extension exts ty =
+  let r = W.Reader.of_string exts in
+  let rec go () =
+    if W.Reader.remaining r = 0 then raise (W.Decode_error "extension missing")
+    else begin
+      let t = W.Reader.u16 r in
+      let body = W.Reader.vec16 r in
+      if t = ty then body else go ()
+    end
+  in
+  go ()
+
+let body msg =
+  if String.length msg < 4 then raise (W.Decode_error "short handshake message");
+  String.sub msg 4 (String.length msg - 4)
+
+let handshake_type msg =
+  if String.length msg < 4 then raise (W.Decode_error "short handshake message");
+  HT.of_byte (Char.code msg.[0])
+
+let decode_client_hello msg =
+  if handshake_type msg <> HT.Client_hello then
+    raise (W.Decode_error "not a ClientHello");
+  let r = W.Reader.of_string (body msg) in
+  let _version = W.Reader.u16 r in
+  let random = W.Reader.bytes r 32 in
+  let session_id = W.Reader.vec8 r in
+  let _suites = W.Reader.vec16 r in
+  let _comp = W.Reader.vec8 r in
+  let exts = W.Reader.vec16 r in
+  W.Reader.expect_end r;
+  let key_share =
+    (* client_shares list wrapper, then the single offered share *)
+    let kr = W.Reader.of_string (find_extension exts 51) in
+    let shares = W.Reader.of_string (W.Reader.vec16 kr) in
+    let _group = W.Reader.u16 shares in
+    W.Reader.vec16 shares
+  in
+  let names = W.Reader.of_string (find_extension exts 0xfd00) in
+  let group = W.Reader.vec8 names in
+  let sig_algs = String.split_on_char ',' (W.Reader.vec8 names) in
+  { random; session_id; group; key_share; sig_algs }
+
+let server_extensions sh =
+  let supported_versions = extension 43 "\x03\x04" in
+  let key_share =
+    extension 51 (Crypto.Bytesx.u16_be 0x0199 ^ W.vec16 sh.sh_key_share)
+  in
+  let names = extension 0xfd00 (W.vec8 sh.sh_group) in
+  W.vec16 (supported_versions ^ key_share ^ names)
+
+let encode_server_hello sh =
+  let body =
+    "\x03\x03" ^ sh.sh_random ^ W.vec8 sh.sh_session_id ^ selected_suite
+    ^ "\x00" (* compression *)
+    ^ server_extensions sh
+  in
+  W.handshake HT.Server_hello body
+
+let decode_server_hello msg =
+  if handshake_type msg <> HT.Server_hello then
+    raise (W.Decode_error "not a ServerHello");
+  let r = W.Reader.of_string (body msg) in
+  let _version = W.Reader.u16 r in
+  let sh_random = W.Reader.bytes r 32 in
+  let sh_session_id = W.Reader.vec8 r in
+  let _suite = W.Reader.bytes r 2 in
+  let _comp = W.Reader.u8 r in
+  let exts = W.Reader.vec16 r in
+  W.Reader.expect_end r;
+  let sh_key_share =
+    let ks = find_extension exts 51 in
+    let kr = W.Reader.of_string ks in
+    let _group = W.Reader.u16 kr in
+    W.Reader.vec16 kr
+  in
+  let names = W.Reader.of_string (find_extension exts 0xfd00) in
+  let sh_group = W.Reader.vec8 names in
+  { sh_random; sh_session_id; sh_group; sh_key_share }
+
+let encode_encrypted_extensions () =
+  (* server name ack + ALPN-free empty extension block *)
+  W.handshake HT.Encrypted_extensions (W.vec16 (extension 0 ""))
+
+let encode_certificate cert =
+  (* certificate_request_context (empty) + one CertificateEntry with an
+     empty extension list *)
+  let entry = W.vec24 (Certificate.encode cert) ^ W.vec16 "" in
+  W.handshake HT.Certificate (W.vec8 "" ^ W.vec24 entry)
+
+let decode_certificate msg =
+  if handshake_type msg <> HT.Certificate then
+    raise (W.Decode_error "not a Certificate");
+  let r = W.Reader.of_string (body msg) in
+  let _ctx = W.Reader.vec8 r in
+  let entries = W.Reader.of_string (W.Reader.vec24 r) in
+  let cert = Certificate.decode (W.Reader.vec24 entries) in
+  let _exts = W.Reader.vec16 entries in
+  cert
+
+let encode_certificate_verify cv =
+  W.handshake HT.Certificate_verify
+    (W.vec8 cv.cv_algorithm ^ W.vec16 cv.cv_signature)
+
+let decode_certificate_verify msg =
+  if handshake_type msg <> HT.Certificate_verify then
+    raise (W.Decode_error "not a CertificateVerify");
+  let r = W.Reader.of_string (body msg) in
+  let cv_algorithm = W.Reader.vec8 r in
+  let cv_signature = W.Reader.vec16 r in
+  W.Reader.expect_end r;
+  { cv_algorithm; cv_signature }
+
+let cv_signed_content ~transcript_hash =
+  String.make 64 ' ' ^ "TLS 1.3, server CertificateVerify" ^ "\x00"
+  ^ transcript_hash
+
+let encode_finished mac = W.handshake HT.Finished mac
+
+let decode_finished msg =
+  if handshake_type msg <> HT.Finished then raise (W.Decode_error "not a Finished");
+  body msg

@@ -1,0 +1,46 @@
+(** TLS 1.3 handshake message codecs (RFC 8446 section 4), carrying the
+    fields this study needs and realistic extension framing for the rest
+    so that message sizes track a real OpenSSL handshake. *)
+
+type client_hello = {
+  random : string;  (** 32 bytes *)
+  session_id : string;  (** 32 bytes of compatibility randomness *)
+  group : string;  (** offered (and pre-computed) key-share group name *)
+  key_share : string;
+  sig_algs : string list;
+}
+
+type server_hello = {
+  sh_random : string;
+  sh_session_id : string;
+  sh_group : string;
+  sh_key_share : string;  (** the KEM ciphertext / server DH share *)
+}
+
+type certificate_verify = { cv_algorithm : string; cv_signature : string }
+
+val encode_client_hello : client_hello -> string
+(** The full handshake message (header included). *)
+
+val decode_client_hello : string -> client_hello
+
+val encode_server_hello : server_hello -> string
+val decode_server_hello : string -> server_hello
+
+val encode_encrypted_extensions : unit -> string
+val encode_certificate : Certificate.t -> string
+val decode_certificate : string -> Certificate.t
+
+val encode_certificate_verify : certificate_verify -> string
+val decode_certificate_verify : string -> certificate_verify
+
+val cv_signed_content : transcript_hash:string -> string
+(** The to-be-signed blob of section 4.4.3 (context string + hash). *)
+
+val encode_finished : string -> string
+val decode_finished : string -> string
+
+val body : string -> string
+(** Strip the 4-byte handshake header. *)
+
+val handshake_type : string -> Wire.Handshake_type.t

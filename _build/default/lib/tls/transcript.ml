@@ -1,0 +1,5 @@
+type t = Crypto.Sha256.ctx
+
+let create () = Crypto.Sha256.init ()
+let add t msg = Crypto.Sha256.feed t msg
+let current t = Crypto.Sha256.get t

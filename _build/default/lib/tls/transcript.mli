@@ -1,0 +1,10 @@
+(** Running transcript hash over handshake messages (RFC 8446 s. 4.4.1). *)
+
+type t
+
+val create : unit -> t
+val add : t -> string -> unit
+(** Absorb a full handshake message (including its 4-byte header). *)
+
+val current : t -> string
+(** Hash of everything absorbed so far; the transcript keeps going. *)

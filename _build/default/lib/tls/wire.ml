@@ -1,0 +1,105 @@
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+module B = Crypto.Bytesx
+
+let vec8 s =
+  if String.length s > 0xff then fail "vec8 overflow";
+  String.make 1 (Char.chr (String.length s)) ^ s
+
+let vec16 s =
+  if String.length s > 0xffff then fail "vec16 overflow";
+  B.u16_be (String.length s) ^ s
+
+let vec24 s =
+  if String.length s > 0xffffff then fail "vec24 overflow";
+  B.u24_be (String.length s) ^ s
+
+module Content_type = struct
+  type t = Change_cipher_spec | Alert | Handshake | Application_data
+
+  let to_byte = function
+    | Change_cipher_spec -> 20
+    | Alert -> 21
+    | Handshake -> 22
+    | Application_data -> 23
+
+  let of_byte = function
+    | 20 -> Change_cipher_spec
+    | 21 -> Alert
+    | 22 -> Handshake
+    | 23 -> Application_data
+    | b -> fail "unknown content type %d" b
+end
+
+let record ct body =
+  String.make 1 (Char.chr (Content_type.to_byte ct))
+  ^ "\x03\x03" ^ B.u16_be (String.length body) ^ body
+
+module Handshake_type = struct
+  type t =
+    | Client_hello
+    | Server_hello
+    | Encrypted_extensions
+    | Certificate
+    | Certificate_verify
+    | Finished
+
+  let to_byte = function
+    | Client_hello -> 1
+    | Server_hello -> 2
+    | Encrypted_extensions -> 8
+    | Certificate -> 11
+    | Certificate_verify -> 15
+    | Finished -> 20
+
+  let of_byte = function
+    | 1 -> Client_hello
+    | 2 -> Server_hello
+    | 8 -> Encrypted_extensions
+    | 11 -> Certificate
+    | 15 -> Certificate_verify
+    | 20 -> Finished
+    | b -> fail "unknown handshake type %d" b
+
+  let label = function
+    | Client_hello -> "CH"
+    | Server_hello -> "SH"
+    | Encrypted_extensions -> "EE"
+    | Certificate -> "CERT"
+    | Certificate_verify -> "CV"
+    | Finished -> "FIN"
+end
+
+let handshake ty body =
+  String.make 1 (Char.chr (Handshake_type.to_byte ty))
+  ^ B.u24_be (String.length body) ^ body
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  let of_string data = { data; pos = 0 }
+  let remaining t = String.length t.data - t.pos
+
+  let bytes t n =
+    if remaining t < n then fail "short read: want %d have %d" n (remaining t);
+    let s = String.sub t.data t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let u8 t = Char.code (bytes t 1).[0]
+
+  let u16 t =
+    let s = bytes t 2 in
+    (Char.code s.[0] lsl 8) lor Char.code s.[1]
+
+  let u24 t =
+    let s = bytes t 3 in
+    (Char.code s.[0] lsl 16) lor (Char.code s.[1] lsl 8) lor Char.code s.[2]
+
+  let vec8 t = bytes t (u8 t)
+  let vec16 t = bytes t (u16 t)
+  let vec24 t = bytes t (u24 t)
+  let expect_end t = if remaining t <> 0 then fail "trailing bytes"
+end

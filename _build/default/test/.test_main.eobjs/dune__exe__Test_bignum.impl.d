@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Bignum Bytesx Crypto Drbg Fmt List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Amplification Catalog Core Deviation Experiment Float List Netsim Option Paper_data Pqc Printf Ranking Scenario Stats String Tls Whitebox

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Aes Aes_gcm Alcotest Bytes Bytesx Chacha20poly1305 Char Crypto Drbg Gen Hkdf Hmac Keccak List Poly1305 QCheck QCheck_alcotest Sha256 Sha512 String

@@ -1,0 +1,1 @@
+test/test_dilithium.ml: Alcotest Bytes Char Crypto Dilithium List Pqc QCheck QCheck_alcotest String

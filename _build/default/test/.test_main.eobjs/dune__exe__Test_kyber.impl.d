@@ -1,0 +1,1 @@
+test/test_kyber.ml: Alcotest Bytes Char Crypto Kyber List Pqc Printf QCheck QCheck_alcotest String

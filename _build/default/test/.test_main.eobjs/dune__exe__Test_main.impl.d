@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bignum Test_core Test_crypto Test_dilithium Test_kyber Test_netsim Test_pqc Test_pubkey Test_slh Test_tls

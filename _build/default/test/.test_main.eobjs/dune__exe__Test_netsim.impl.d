@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Buffer Char Crypto List Netsim Printf QCheck QCheck_alcotest String

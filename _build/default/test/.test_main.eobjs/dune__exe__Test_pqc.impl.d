@@ -1,0 +1,1 @@
+test/test_pqc.ml: Alcotest Bytes Char Costs Crypto Kem List Pqc Registry Sigalg Sim_suites String

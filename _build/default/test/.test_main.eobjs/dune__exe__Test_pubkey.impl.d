@@ -1,0 +1,1 @@
+test/test_pubkey.ml: Alcotest Bignum Bytes Bytesx Char Crypto Drbg Ec List QCheck QCheck_alcotest Rsa Rsa_keys Sha256 String X25519

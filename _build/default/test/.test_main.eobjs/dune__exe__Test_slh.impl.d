@@ -1,0 +1,1 @@
+test/test_slh.ml: Alcotest Bytes Char Crypto List Pqc Printf Registry Sigalg Slh String

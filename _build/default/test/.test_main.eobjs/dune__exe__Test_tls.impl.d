@@ -1,0 +1,1 @@
+test/test_tls.ml: Alcotest Crypto List Netsim Option Pqc Printf String Tls

@@ -1,0 +1,367 @@
+(* Discrete-event engine, impaired links and the TCP model. *)
+
+let test_engine_ordering () =
+  let e = Netsim.Engine.create () in
+  let log = ref [] in
+  let note x () = log := x :: !log in
+  Netsim.Engine.schedule e ~delay:0.3 (note "c");
+  Netsim.Engine.schedule e ~delay:0.1 (note "a");
+  Netsim.Engine.schedule e ~delay:0.2 (note "b");
+  (* same-time events fire in scheduling order *)
+  Netsim.Engine.schedule e ~delay:0.4 (note "d1");
+  Netsim.Engine.schedule e ~delay:0.4 (note "d2");
+  Netsim.Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c"; "d1"; "d2" ]
+    (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock" 0.4 (Netsim.Engine.now e)
+
+let test_engine_cancel_and_until () =
+  let e = Netsim.Engine.create () in
+  let fired = ref 0 in
+  let h = Netsim.Engine.schedule_cancellable e ~delay:0.1 (fun () -> incr fired) in
+  h.Netsim.Engine.cancelled <- true;
+  Netsim.Engine.schedule e ~delay:0.2 (fun () -> incr fired);
+  Netsim.Engine.schedule e ~delay:5.0 (fun () -> incr fired);
+  Netsim.Engine.run e ~until:1.0;
+  Alcotest.(check int) "cancelled skipped, late one pending" 1 !fired;
+  Alcotest.(check int) "event still queued" 1 (Netsim.Engine.pending e);
+  Netsim.Engine.run e;
+  Alcotest.(check int) "resumable" 2 !fired
+
+let qc_heap =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"heap delivers in time order" ~count:100
+       QCheck.(list (float_bound_exclusive 1000.))
+       (fun delays ->
+         let e = Netsim.Engine.create () in
+         let out = ref [] in
+         List.iter
+           (fun d -> Netsim.Engine.schedule e ~delay:d (fun () -> out := d :: !out))
+           delays;
+         Netsim.Engine.run e;
+         List.rev !out = List.sort compare delays))
+
+let mk_packet ~src ~dst ?(len = 100) () =
+  { Netsim.Packet.id = 0; src; dst; flags = Netsim.Packet.plain_flags; seq = 0;
+    ack_seq = 0; payload = String.make len 'x'; marks = [] }
+
+let test_link_delay_and_rate () =
+  let e = Netsim.Engine.create () in
+  let rng = Crypto.Drbg.create ~seed:"link" in
+  let netem =
+    { Netsim.Link.loss = 0.; loss_towards = None; delay_s = 0.05; jitter_s = 0.;
+      rate_bps = 8000. (* 1000 bytes per second *) }
+  in
+  let taps = ref [] in
+  let link = Netsim.Link.create e rng netem ~tap:(fun t _ -> taps := t :: !taps) in
+  let arrivals = ref [] in
+  let p = mk_packet ~src:"a" ~dst:"b" ~len:(100 - 66) () in
+  (* wire size = 66 header + 34 payload = 100 bytes -> 0.1 s serialization *)
+  Netsim.Link.send link p ~deliver:(fun _ ->
+      arrivals := Netsim.Engine.now e :: !arrivals);
+  Netsim.Link.send link p ~deliver:(fun _ ->
+      arrivals := Netsim.Engine.now e :: !arrivals);
+  Netsim.Engine.run e;
+  (match List.rev !arrivals with
+  | [ t1; t2 ] ->
+    Alcotest.(check (float 1e-6)) "first arrival" 0.15 t1;
+    (* FIFO queue: second starts after the first finishes *)
+    Alcotest.(check (float 1e-6)) "queued arrival" 0.25 t2
+  | _ -> Alcotest.fail "expected two arrivals");
+  Alcotest.(check int) "tap saw both" 2 (List.length !taps)
+
+let test_link_loss () =
+  let e = Netsim.Engine.create () in
+  let rng = Crypto.Drbg.create ~seed:"loss" in
+  let netem =
+    { Netsim.Link.loss = 0.5; loss_towards = Some "b"; delay_s = 0.; jitter_s = 0.;
+      rate_bps = 1e9 }
+  in
+  let link = Netsim.Link.create e rng netem ~tap:(fun _ _ -> ()) in
+  let got = ref 0 in
+  for _ = 1 to 1000 do
+    Netsim.Link.send link (mk_packet ~src:"a" ~dst:"b" ()) ~deliver:(fun _ -> incr got)
+  done;
+  (* reverse direction unaffected *)
+  let got_rev = ref 0 in
+  for _ = 1 to 100 do
+    Netsim.Link.send link (mk_packet ~src:"b" ~dst:"a" ()) ~deliver:(fun _ -> incr got_rev)
+  done;
+  Netsim.Engine.run e;
+  Alcotest.(check bool) "about half dropped" true (!got > 400 && !got < 600);
+  Alcotest.(check int) "directional loss" 100 !got_rev;
+  Alcotest.(check int) "loss accounting" (1100 - !got - !got_rev)
+    (Netsim.Link.stats_lost link)
+
+let test_host_cpu () =
+  let e = Netsim.Engine.create () in
+  let h = Netsim.Host.create e ~name:"h" in
+  let finished = ref [] in
+  Netsim.Host.charge h ~ms:10. ~lib:"libcrypto" ~k:(fun () ->
+      finished := ("a", Netsim.Engine.now e) :: !finished);
+  (* second job must queue behind the first on the single core *)
+  Netsim.Host.charge h ~ms:5. ~lib:"libssl" ~k:(fun () ->
+      finished := ("b", Netsim.Engine.now e) :: !finished);
+  Netsim.Engine.run e;
+  (match List.rev !finished with
+  | [ ("a", ta); ("b", tb) ] ->
+    Alcotest.(check (float 1e-9)) "first at 10ms" 0.010 ta;
+    Alcotest.(check (float 1e-9)) "second queued to 15ms" 0.015 tb
+  | _ -> Alcotest.fail "both continuations must run");
+  Alcotest.(check (float 1e-9)) "ledger total" 15. (Netsim.Host.total_cpu_ms h);
+  Alcotest.(check (float 1e-9)) "ledger split" 10.
+    (List.assoc "libcrypto" (Netsim.Host.ledger h))
+
+(* ---- TCP ----------------------------------------------------------------- *)
+
+let tcp_setup ?(netem = Netsim.Link.ideal) ?(config = Netsim.Tcp.default_config) seed =
+  let e = Netsim.Engine.create () in
+  let rng = Crypto.Drbg.create ~seed in
+  let trace = Netsim.Trace.create () in
+  let link =
+    Netsim.Link.create e rng netem ~tap:(fun t p -> Netsim.Trace.tap trace t p)
+  in
+  let client = Netsim.Host.create e ~name:"client" in
+  let server = Netsim.Host.create e ~name:"server" in
+  let c, s = Netsim.Tcp.create_pair e link config ~client ~server in
+  (e, c, s, trace)
+
+let transfer ?netem ?config ~data seed =
+  let e, c, s, trace = tcp_setup ?netem ?config seed in
+  let received = Buffer.create 1024 in
+  Netsim.Tcp.on_receive s (fun chunk -> Buffer.add_string received chunk);
+  Netsim.Tcp.connect c ~on_established:(fun () -> Netsim.Tcp.write c data);
+  Netsim.Engine.run e;
+  (Buffer.contents received, c, s, trace, e)
+
+let test_tcp_basic_transfer () =
+  let data = String.init 10_000 (fun i -> Char.chr (i mod 256)) in
+  let got, c, _, _, _ = transfer ~data "tcp-basic" in
+  Alcotest.(check int) "all bytes" (String.length data) (String.length got);
+  Alcotest.(check string) "in order, uncorrupted" data got;
+  Alcotest.(check int) "no retransmissions" 0 (Netsim.Tcp.retransmissions c)
+
+let test_tcp_mss_segmentation () =
+  let data = String.make 5000 'z' in
+  let _, c, _, trace, _ = transfer ~data "tcp-mss" in
+  let data_pkts =
+    List.filter
+      (fun e ->
+        e.Netsim.Trace.packet.Netsim.Packet.src = "client"
+        && Netsim.Packet.payload_len e.Netsim.Trace.packet > 0)
+      (Netsim.Trace.entries trace)
+  in
+  Alcotest.(check int) "4 segments for 5000 B at MSS 1448" 4 (List.length data_pkts);
+  List.iteri
+    (fun i e ->
+      let len = Netsim.Packet.payload_len e.Netsim.Trace.packet in
+      if i < 3 then Alcotest.(check int) "full MSS" 1448 len
+      else Alcotest.(check int) "tail" (5000 - (3 * 1448)) len)
+    data_pkts;
+  ignore c
+
+let test_tcp_loss_recovery () =
+  (* a lossy link must still deliver everything, with retransmissions *)
+  let netem =
+    { Netsim.Link.loss = 0.15; loss_towards = Some "server"; delay_s = 0.005;
+      jitter_s = 0.; rate_bps = 1e8 }
+  in
+  let data = String.init 200_000 (fun i -> Char.chr (i * 7 mod 256)) in
+  let got, c, _, _, _ = transfer ~netem ~data "tcp-loss" in
+  Alcotest.(check string) "lossless delivery over lossy link" data got;
+  Alcotest.(check bool) "retransmissions happened" true
+    (Netsim.Tcp.retransmissions c > 0)
+
+let test_tcp_initial_cwnd () =
+  (* with a long RTT, exactly init_cwnd segments go out in the first burst *)
+  let netem =
+    { Netsim.Link.loss = 0.; loss_towards = None; delay_s = 0.25; jitter_s = 0.; rate_bps = 1e9 }
+  in
+  let data = String.make 100_000 'q' in
+  let _, _, _, trace, _ = transfer ~netem ~data "tcp-cwnd" in
+  let first_burst =
+    List.filter
+      (fun en ->
+        let p = en.Netsim.Trace.packet in
+        p.Netsim.Packet.src = "client"
+        && Netsim.Packet.payload_len p > 0
+        && en.Netsim.Trace.time < 0.7 (* before the first data ACK returns *))
+      (Netsim.Trace.entries trace)
+  in
+  Alcotest.(check int) "initial window = 10 segments" 10 (List.length first_burst)
+
+let test_tcp_cwnd_segment_counting () =
+  (* eleven small writes = eleven partially-filled segments: the last one
+     must wait for an ACK even though total bytes are far below 10 x MSS
+     (the paper's section 5.4 packetization effect) *)
+  let netem =
+    { Netsim.Link.loss = 0.; loss_towards = None; delay_s = 0.25; jitter_s = 0.; rate_bps = 1e9 }
+  in
+  let e, c, s, trace = tcp_setup ~netem "tcp-segcount" in
+  let received = ref 0 in
+  Netsim.Tcp.on_receive s (fun chunk -> received := !received + String.length chunk);
+  Netsim.Tcp.connect c ~on_established:(fun () ->
+      for _ = 1 to 11 do
+        Netsim.Tcp.write c (String.make 100 'w')
+      done);
+  Netsim.Engine.run e;
+  Alcotest.(check int) "all 1100 bytes arrive" 1100 !received;
+  let early =
+    List.filter
+      (fun en ->
+        let p = en.Netsim.Trace.packet in
+        p.Netsim.Packet.src = "client"
+        && Netsim.Packet.payload_len p > 0
+        && en.Netsim.Trace.time < 0.7)
+      (Netsim.Trace.entries trace)
+  in
+  Alcotest.(check int) "only 10 segments before the ACK" 10 (List.length early)
+
+let test_tcp_marks () =
+  let e, c, s, trace = tcp_setup "tcp-marks" in
+  Netsim.Tcp.on_receive s (fun _ -> ());
+  Netsim.Tcp.connect c ~on_established:(fun () ->
+      Netsim.Tcp.write c ~marks:[ (0, "A"); (3000, "B") ] (String.make 4000 'm'));
+  Netsim.Engine.run e;
+  (match Netsim.Trace.find_mark trace "A" with
+  | Some en -> Alcotest.(check int) "A in first segment" 0
+                 en.Netsim.Trace.packet.Netsim.Packet.seq
+  | None -> Alcotest.fail "mark A not seen");
+  (match Netsim.Trace.find_mark trace "B" with
+  | Some en ->
+    Alcotest.(check int) "B in third segment" 2896
+      en.Netsim.Trace.packet.Netsim.Packet.seq
+  | None -> Alcotest.fail "mark B not seen")
+
+let test_tcp_fin () =
+  let e, c, s, _ = tcp_setup "tcp-fin" in
+  Netsim.Tcp.on_receive s (fun _ -> ());
+  Netsim.Tcp.connect c ~on_established:(fun () ->
+      Netsim.Tcp.write c "bye";
+      Netsim.Tcp.close c);
+  Netsim.Engine.run e;
+  ignore s;
+  Alcotest.(check bool) "fin accounted" true (Netsim.Tcp.packets_sent c >= 3)
+
+let qc_tcp_random_writes =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"tcp delivers arbitrary write patterns intact"
+       ~count:30
+       QCheck.(list_of_size (QCheck.Gen.int_range 1 12) (int_range 1 5000))
+       (fun sizes ->
+         let e, c, s, _ = tcp_setup "tcp-qc" in
+         let received = Buffer.create 1024 in
+         Netsim.Tcp.on_receive s (fun chunk -> Buffer.add_string received chunk);
+         let payload =
+           List.mapi (fun i n -> String.make n (Char.chr (65 + (i mod 26)))) sizes
+         in
+         Netsim.Tcp.connect c ~on_established:(fun () ->
+             List.iter (fun chunk -> Netsim.Tcp.write c chunk) payload);
+         Netsim.Engine.run e;
+         Buffer.contents received = String.concat "" payload))
+
+let test_no_recovery_deadlock () =
+  (* regression: stale in-flight accounting after an RTO used to pin the
+     window shut (cwnd < phantom in-flight, timer cancelled) and strand
+     large lossy transfers; every seed must finish within the virtual
+     budget *)
+  let netem =
+    { Netsim.Link.loss = 0.10; loss_towards = Some "client"; delay_s = 0.1;
+      jitter_s = 0.; rate_bps = 1e6 }
+  in
+  for i = 0 to 29 do
+    let e = Netsim.Engine.create () in
+    let rng = Crypto.Drbg.create ~seed:(Printf.sprintf "deadlock%d" i) in
+    let link = Netsim.Link.create e rng netem ~tap:(fun _ _ -> ()) in
+    let client = Netsim.Host.create e ~name:"client" in
+    let server = Netsim.Host.create e ~name:"server" in
+    let c, s = Netsim.Tcp.create_pair e link Netsim.Tcp.default_config ~client ~server in
+    let received = ref 0 in
+    Netsim.Tcp.on_receive c (fun chunk -> received := !received + String.length chunk);
+    let data = String.make 76000 'd' in
+    Netsim.Tcp.on_receive s (fun _ ->
+        Netsim.Tcp.write s (String.sub data 0 200);
+        Netsim.Tcp.write s (String.sub data 200 40000);
+        Netsim.Tcp.write s (String.sub data 40200 35800));
+    Netsim.Tcp.connect c ~on_established:(fun () -> Netsim.Tcp.write c "hello");
+    Netsim.Engine.run e ~until:290.;
+    Alcotest.(check int) (Printf.sprintf "seed %d delivers all bytes" i) 76000
+      !received
+  done
+
+let test_jitter_reordering () =
+  (* heavy jitter reorders packets in flight; TCP must still deliver the
+     stream intact, using its out-of-order queue *)
+  let netem =
+    { Netsim.Link.loss = 0.; loss_towards = None; delay_s = 0.05;
+      jitter_s = 0.045; rate_bps = 1e9 }
+  in
+  let data = String.init 150_000 (fun i -> Char.chr (i * 11 mod 256)) in
+  let got, _, _, trace, _ = transfer ~netem ~data "tcp-jitter" in
+  Alcotest.(check string) "stream intact under reordering" data got;
+  (* confirm the link actually reordered: some later-sent data segment
+     arrived before an earlier one (dupACKs are the receiver's response) *)
+  let server_acks =
+    List.filter
+      (fun en ->
+        en.Netsim.Trace.packet.Netsim.Packet.src = "server"
+        && Netsim.Packet.payload_len en.Netsim.Trace.packet = 0)
+      (Netsim.Trace.entries trace)
+  in
+  let rec has_dup = function
+    | a :: (b : Netsim.Trace.entry) :: rest ->
+      a.Netsim.Trace.packet.Netsim.Packet.ack_seq
+      = b.Netsim.Trace.packet.Netsim.Packet.ack_seq
+      || has_dup (b :: rest)
+    | _ -> false
+  in
+  Alcotest.(check bool) "reordering observed (duplicate ACKs)" true
+    (has_dup server_acks)
+
+let test_pcap_export () =
+  let e, c, s, trace = tcp_setup "pcap" in
+  Netsim.Tcp.on_receive s (fun _ -> ());
+  Netsim.Tcp.connect c ~on_established:(fun () ->
+      Netsim.Tcp.write c (String.make 2000 'p'));
+  Netsim.Engine.run e;
+  let dump = Netsim.Pcap.of_entries (Netsim.Trace.entries trace) in
+  (* global header magic, little-endian *)
+  Alcotest.(check string) "pcap magic" "d4c3b2a1"
+    (Crypto.Bytesx.to_hex (String.sub dump 0 4));
+  Alcotest.(check int) "linktype ethernet" 1 (Char.code dump.[20]);
+  (* walk the records: each must parse and the count must match the tap *)
+  let rec count pos acc =
+    if pos >= String.length dump then acc
+    else begin
+      let incl = Crypto.Bytesx.get_u32_le dump (pos + 8) in
+      Alcotest.(check int) "incl = orig" incl (Crypto.Bytesx.get_u32_le dump (pos + 12));
+      (* ethernet + ipv4 + minimal tcp present *)
+      Alcotest.(check bool) "frame big enough" true (incl >= 14 + 20 + 20);
+      count (pos + 16 + incl) (acc + 1)
+    end
+  in
+  Alcotest.(check int) "record per tapped packet" (Netsim.Trace.length trace)
+    (count 24 0);
+  (* ethertype of the first frame *)
+  Alcotest.(check string) "ethertype ipv4" "0800"
+    (Crypto.Bytesx.to_hex (String.sub dump (24 + 16 + 12) 2))
+
+let suites =
+  [ ( "netsim",
+      [ Alcotest.test_case "engine ordering" `Quick test_engine_ordering;
+        Alcotest.test_case "engine cancel/until" `Quick test_engine_cancel_and_until;
+        qc_heap;
+        Alcotest.test_case "link delay + rate" `Quick test_link_delay_and_rate;
+        Alcotest.test_case "link loss" `Quick test_link_loss;
+        Alcotest.test_case "host cpu serialization" `Quick test_host_cpu;
+        Alcotest.test_case "tcp transfer" `Quick test_tcp_basic_transfer;
+        Alcotest.test_case "tcp segmentation" `Quick test_tcp_mss_segmentation;
+        Alcotest.test_case "tcp loss recovery" `Quick test_tcp_loss_recovery;
+        Alcotest.test_case "tcp initial cwnd" `Quick test_tcp_initial_cwnd;
+        Alcotest.test_case "tcp segment-counted cwnd" `Quick test_tcp_cwnd_segment_counting;
+        Alcotest.test_case "tcp marks" `Quick test_tcp_marks;
+        Alcotest.test_case "tcp fin" `Quick test_tcp_fin;
+        Alcotest.test_case "no recovery deadlock" `Slow test_no_recovery_deadlock;
+        Alcotest.test_case "jitter reordering" `Quick test_jitter_reordering;
+        Alcotest.test_case "pcap export" `Quick test_pcap_export;
+        qc_tcp_random_writes ] ) ]

@@ -1,0 +1,74 @@
+(* SPHINCS+ / SLH-DSA: exact NIST artifact sizes for all six profiles,
+   sign/verify round trips, and corruption behaviour. The s-profiles'
+   signing costs minutes of host time, so only their dimensions and
+   verification plumbing are exercised here. *)
+
+open Pqc
+
+let expected =
+  (* name, pk, sk, sig -- NIST submission values *)
+  Slh.
+    [ (sphincs128f, 32, 64, 17088); (sphincs192f, 48, 96, 35664);
+      (sphincs256f, 64, 128, 49856); (sphincs128s, 32, 64, 7856);
+      (sphincs192s, 48, 96, 16224); (sphincs256s, 64, 128, 29792) ]
+
+let test_sizes () =
+  List.iter
+    (fun (p, pk, sk, sg) ->
+      Alcotest.(check int) (Slh.name p ^ " pk") pk (Slh.public_key_bytes p);
+      Alcotest.(check int) (Slh.name p ^ " sk") sk (Slh.secret_key_bytes p);
+      Alcotest.(check int) (Slh.name p ^ " sig") sg (Slh.signature_bytes p))
+    expected
+
+let roundtrip p =
+  let rng = Crypto.Drbg.create ~seed:("slh-" ^ Slh.name p) in
+  let pk, sk = Slh.keygen p rng in
+  Alcotest.(check int) "pk len" (Slh.public_key_bytes p) (String.length pk);
+  Alcotest.(check int) "sk len" (Slh.secret_key_bytes p) (String.length sk);
+  let msg = "the hypertree certifies the fors key" in
+  let s = Slh.sign p sk msg in
+  Alcotest.(check int) "sig len" (Slh.signature_bytes p) (String.length s);
+  Alcotest.(check bool) "verifies" true (Slh.verify p pk ~msg s);
+  Alcotest.(check bool) "other msg rejected" false (Slh.verify p pk ~msg:"x" s);
+  (* deterministic signing *)
+  Alcotest.(check string) "deterministic" (Crypto.Bytesx.to_hex s)
+    (Crypto.Bytesx.to_hex (Slh.sign p sk msg));
+  (* corrupt each signature region: randomizer, FORS, hypertree *)
+  List.iter
+    (fun pos ->
+      let bad = Bytes.of_string s in
+      Bytes.set bad pos (Char.chr (Char.code (Bytes.get bad pos) lxor 0x20));
+      Alcotest.(check bool)
+        (Printf.sprintf "corruption at %d rejected" pos)
+        false
+        (Slh.verify p pk ~msg (Bytes.to_string bad)))
+    [ 0; Slh.public_key_bytes p * 10; String.length s - 1 ];
+  (* wrong public key *)
+  let pk2, _ = Slh.keygen p rng in
+  Alcotest.(check bool) "wrong pk rejected" false (Slh.verify p pk2 ~msg s);
+  (* truncated / oversized input never crash *)
+  Alcotest.(check bool) "truncated" false
+    (Slh.verify p pk ~msg (String.sub s 0 (String.length s / 2)));
+  Alcotest.(check bool) "short pk" false (Slh.verify p (String.sub pk 0 8) ~msg s)
+
+let test_roundtrip_128f () = roundtrip Slh.sphincs128f
+let test_roundtrip_192f () = roundtrip Slh.sphincs192f
+
+let test_registry_integration () =
+  (* the table names keep the paper spelling but run the real SLH code *)
+  let sa = Registry.find_sig "sphincs128" in
+  Alcotest.(check int) "sig bytes" 17088 sa.Sigalg.signature_bytes;
+  Alcotest.(check bool) "not mocked" false sa.Sigalg.mocked;
+  Alcotest.(check int) "six variants" 6 (List.length Registry.sphincs_variants);
+  List.iter
+    (fun (v : Sigalg.t) ->
+      Alcotest.(check bool) (v.Sigalg.name ^ " has costs") true
+        ((Pqc.Costs.sig_ v.Sigalg.name).Pqc.Costs.sign.Pqc.Costs.ms > 0.))
+    Registry.sphincs_variants
+
+let suites =
+  [ ( "slh",
+      [ Alcotest.test_case "exact NIST sizes (all six)" `Quick test_sizes;
+        Alcotest.test_case "128f sign/verify/corruption" `Slow test_roundtrip_128f;
+        Alcotest.test_case "192f sign/verify/corruption" `Slow test_roundtrip_192f;
+        Alcotest.test_case "registry integration" `Quick test_registry_integration ] ) ]
