@@ -4,9 +4,13 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe table2a    -- one artifact
      dune exec bench/main.exe micro      -- microbenchmarks only
+     dune exec bench/main.exe -- -j 8 table4a   -- shard cells over 8 domains
 *)
 
 let seed = "bench"
+
+(* campaign execution context, set from the command line in [main] *)
+let exec = ref Core.Exec.sequential
 
 (* ---- bechamel microbenchmarks of the real implementations -------------- *)
 
@@ -98,38 +102,51 @@ let run_micro () =
 (* ---- table/figure targets ------------------------------------------------ *)
 
 let targets : (string * (unit -> unit)) list =
-  [ ("table2a", fun () -> print_string (Core.Report.table2a ~seed ()));
-    ("table2b", fun () -> print_string (Core.Report.table2b ~seed ()));
-    ("figure3", fun () -> print_string (Core.Report.figure3 ~seed ()));
-    ("table3", fun () -> print_string (Core.Report.table3 ~seed ()));
-    ("table4a", fun () -> print_string (Core.Report.table4a ~seed ()));
-    ("table4b", fun () -> print_string (Core.Report.table4b ~seed ()));
-    ("figure4", fun () -> print_string (Core.Report.figure4 ~seed ()));
-    ("attack", fun () -> print_string (Core.Report.attack ~seed ()));
+  [ ("table2a", fun () -> print_string (Core.Report.table2a ~seed ~exec:!exec ()));
+    ("table2b", fun () -> print_string (Core.Report.table2b ~seed ~exec:!exec ()));
+    ("figure3", fun () -> print_string (Core.Report.figure3 ~seed ~exec:!exec ()));
+    ("table3", fun () -> print_string (Core.Report.table3 ~seed ~exec:!exec ()));
+    ("table4a", fun () -> print_string (Core.Report.table4a ~seed ~exec:!exec ()));
+    ("table4b", fun () -> print_string (Core.Report.table4b ~seed ~exec:!exec ()));
+    ("figure4", fun () -> print_string (Core.Report.figure4 ~seed ~exec:!exec ()));
+    ("attack", fun () -> print_string (Core.Report.attack ~seed ~exec:!exec ()));
     ( "ablation",
       fun () ->
-        print_string (Core.Report.ablation_buffer ~seed ());
-        print_string (Core.Report.ablation_cwnd ~seed ());
-        print_string (Core.Report.ablation_hrr ~seed ()) );
+        print_string (Core.Report.ablation_buffer ~seed ~exec:!exec ());
+        print_string (Core.Report.ablation_cwnd ~seed ~exec:!exec ());
+        print_string (Core.Report.ablation_hrr ~seed ~exec:!exec ()) );
     ("micro", run_micro) ]
 
 let () =
+  (* [-j N] and [--cache DIR] apply to every campaign target; the
+     remaining arguments name targets, default all *)
+  let rec parse jobs cache = function
+    | ("-j" | "--jobs") :: n :: rest -> parse (int_of_string_opt n) cache rest
+    | "--cache" :: dir :: rest -> parse jobs (Some dir) rest
+    | names -> (jobs, cache, names)
+  in
+  let jobs, cache_dir, requested =
+    parse None None (List.tl (Array.to_list Sys.argv))
+  in
+  exec := Core.Exec.create ?jobs ?cache_dir ();
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst targets
+    match requested with [] -> List.map fst targets | names -> names
   in
   List.iter
     (fun name ->
       match List.assoc_opt name targets with
       | Some f ->
         Printf.printf "==> %s\n%!" name;
-        let t0 = Sys.time () in
+        let t0 = Unix.gettimeofday () in
         f ();
-        Printf.printf "    (%s finished in %.1f s host CPU)\n\n%!" name
-          (Sys.time () -. t0)
+        Printf.printf "    (%s finished in %.1f s wall, %d jobs)\n\n%!" name
+          (Unix.gettimeofday () -. t0)
+          !exec.Core.Exec.jobs
       | None ->
         Printf.eprintf "unknown target %s; available: %s\n" name
           (String.concat " " (List.map fst targets));
         exit 1)
-    requested
+    requested;
+  match Core.Exec.cache_summary !exec with
+  | Some line -> Printf.printf "%s\n%!" line
+  | None -> ()

@@ -12,6 +12,29 @@ let seed_arg =
   let doc = "Deterministic seed for the whole campaign." in
   Arg.(value & opt string "pqtls" & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Domains to shard campaign cells across (results are bit-identical \
+     for any value). Defaults to the recommended domain count of this \
+     machine."
+  in
+  Arg.(
+    value
+    & opt int (Core.Exec.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let cache_arg =
+  let doc =
+    "Memoize completed cells in $(docv): re-runs with the same binary, \
+     seed and parameters reload instead of re-executing."
+  in
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
+
+let quiet_arg =
+  Arg.(
+    value & flag
+    & info [ "q"; "quiet" ] ~doc:"Suppress the per-cell progress lines.")
+
 (* ---- list ---------------------------------------------------------------- *)
 
 let list_cmd =
@@ -38,11 +61,17 @@ let run_cmd =
     Arg.(value & flag & info [ "csv" ]
            ~doc:"Also emit latencies CSVs for all-kem / all-sig (needs -o).")
   in
-  let run seed out_dir csv experiments =
+  let run seed jobs cache_dir quiet out_dir csv experiments =
+    let exec = Core.Exec.create ~jobs ?cache_dir ~progress:(not quiet) () in
     List.iter
       (fun name ->
+        if not quiet then
+          Printf.eprintf "==> %s (%d jobs%s)\n%!" name exec.Core.Exec.jobs
+            (match cache_dir with
+            | Some d -> ", cache " ^ d
+            | None -> "");
         let report =
-          try Core.Catalog.run ~seed name
+          try Core.Catalog.run ~seed ~exec name
           with Invalid_argument m ->
             Printf.eprintf "error: %s\n" m;
             exit 1
@@ -57,23 +86,31 @@ let run_cmd =
             close_out oc;
             Printf.printf "wrote %s\n%!" path
           in
-          write (Filename.concat dir (name ^ ".txt")) report;
+          write (Filename.concat dir (Core.Catalog.resolve name ^ ".txt")) report;
           if csv then begin
-            match name with
+            match Core.Catalog.resolve name with
             | "all-kem" ->
               write (Filename.concat dir "all-kem-latencies.csv")
-                (Core.Report.table2a_csv ~seed ())
+                (Core.Report.table2a_csv ~seed ~exec ())
             | "all-sig" ->
               write (Filename.concat dir "all-sig-latencies.csv")
-                (Core.Report.table2b_csv ~seed ())
+                (Core.Report.table2b_csv ~seed ~exec ())
             | _ -> ()
           end)
-      experiments
+      experiments;
+    match Core.Exec.cache_summary exec with
+    | Some line when not quiet -> Printf.eprintf "%s\n%!" line
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "run"
-       ~doc:"Run named experiments (60 virtual seconds per configuration).")
-    Term.(const run $ seed_arg $ out_dir $ csv $ experiments)
+       ~doc:
+         "Run named experiments (60 virtual seconds per configuration), \
+          sharded across domains with $(b,--jobs) and memoized with \
+          $(b,--cache).")
+    Term.(
+      const run $ seed_arg $ jobs_arg $ cache_arg $ quiet_arg $ out_dir $ csv
+      $ experiments)
 
 (* ---- handshake ------------------------------------------------------------ *)
 

@@ -7,8 +7,7 @@ type row = {
 
 let quic_limit = 3.0
 
-let measure ?(seed = "attack") kem sa =
-  let o = Experiment.run ~seed kem sa in
+let row_of kem sa (o : Experiment.outcome) =
   let med f = Stats.median_int (List.map f o.Experiment.samples) in
   { kem = kem.Pqc.Kem.name;
     sa = sa.Pqc.Sigalg.name;
@@ -17,21 +16,21 @@ let measure ?(seed = "attack") kem sa =
       med (fun s -> s.Experiment.server_bytes)
       /. med (fun s -> s.Experiment.client_bytes) }
 
-let survey ?seed () =
-  let sa_rows =
-    List.map
-      (fun sa -> measure ?seed Pqc.Registry.baseline_kem sa)
-      Pqc.Registry.sigs
+let measure ?(seed = "attack") kem sa =
+  row_of kem sa (Experiment.run ~seed kem sa)
+
+let survey ?(seed = "attack") ?(exec = Exec.sequential) () =
+  let pairs =
+    List.map (fun sa -> (Pqc.Registry.baseline_kem, sa)) Pqc.Registry.sigs
+    @ List.map
+        (fun (_, k, s) -> (Pqc.Registry.find_kem k, Pqc.Registry.find_sig s))
+        Whitebox.paper_pairs
   in
-  let pair_rows =
-    List.map
-      (fun (_, k, s) ->
-        measure ?seed (Pqc.Registry.find_kem k) (Pqc.Registry.find_sig s))
-      Whitebox.paper_pairs
+  let outcomes =
+    Exec.cells exec (List.map (fun (k, s) -> Experiment.spec ~seed k s) pairs)
   in
-  List.sort
-    (fun a b -> Float.compare b.amplification a.amplification)
-    (sa_rows @ pair_rows)
+  let rows = List.map2 (fun (k, s) o -> row_of k s o) pairs outcomes in
+  List.sort (fun a b -> Float.compare b.amplification a.amplification) rows
 
 let worst_by f = function
   | [] -> invalid_arg "Amplification: empty survey"

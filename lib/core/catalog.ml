@@ -1,5 +1,5 @@
-let level_report ?seed ~buffering level =
-  let g = Deviation.analyze ?seed ~buffering level in
+let level_report ?seed ?exec ~buffering level =
+  let g = Deviation.analyze ?seed ?exec ~buffering level in
   let b = Buffer.create 2048 in
   Buffer.add_string b
     (Printf.sprintf "Level-%d combinations (%s buffering)\n" level
@@ -15,34 +15,39 @@ let level_report ?seed ~buffering level =
     g.Deviation.cells;
   Buffer.contents b
 
-let perf_report ?seed level =
+let perf_report ?seed ?exec level =
   let rows =
     List.filter (fun (l, _, _) -> l = level) Whitebox.paper_pairs
   in
   let b = Buffer.create 1024 in
   Buffer.add_string b (Printf.sprintf "Level-%d white-box profiling\n" level);
   List.iter
-    (fun pair ->
-      let r = Whitebox.measure ?seed pair in
+    (fun r ->
       Buffer.add_string b
         (Printf.sprintf "  %-15s %-15s %4.0f hs/s cpu %5.2f/%5.2f ms\n"
            r.Whitebox.kem r.Whitebox.sa r.Whitebox.handshakes_per_s
            r.Whitebox.server_cpu_ms r.Whitebox.client_cpu_ms))
-    rows;
+    (Whitebox.rows ?seed ?exec rows);
   Buffer.contents b
 
 (* the Appendix-B all-sphincs run: find the fastest SPHINCS+ profile *)
-let all_sphincs_report ?seed () =
+let all_sphincs_report ?seed ?(exec = Exec.sequential) () =
+  let outcomes =
+    Exec.cells exec
+      (List.map
+         (fun (v : Pqc.Sigalg.t) ->
+           Experiment.spec ?seed Pqc.Registry.baseline_kem v)
+         Pqc.Registry.sphincs_variants)
+  in
   let rows =
-    List.map
-      (fun (v : Pqc.Sigalg.t) ->
-        let o = Experiment.run ?seed Pqc.Registry.baseline_kem v in
+    List.map2
+      (fun (v : Pqc.Sigalg.t) o ->
         let total =
           Stats.median
             (List.map (fun s -> s.Experiment.total_ms) o.Experiment.samples)
         in
         (v.Pqc.Sigalg.name, total, v.Pqc.Sigalg.signature_bytes))
-      Pqc.Registry.sphincs_variants
+      Pqc.Registry.sphincs_variants outcomes
   in
   let sorted = List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) rows in
   let b = Buffer.create 1024 in
@@ -63,57 +68,72 @@ let all_sphincs_report ?seed () =
   Buffer.contents b
 
 let entries :
-    (string * string * (?seed:string -> unit -> string)) list =
+    (string * string * (?seed:string -> ?exec:Exec.t -> unit -> string)) list =
   [ ("all-kem", "Table 2a campaign: every KA with rsa:2048",
-     fun ?seed () -> Report.table2a ?seed ());
+     fun ?seed ?exec () -> Report.table2a ?seed ?exec ());
     ("all-sig", "Table 2b campaign: every SA with x25519",
-     fun ?seed () -> Report.table2b ?seed ());
+     fun ?seed ?exec () -> Report.table2b ?seed ?exec ());
     ("level1", "Figure 3 campaign, level 1-2, optimized buffering",
-     fun ?seed () -> level_report ?seed ~buffering:Tls.Config.Optimized_push 1);
+     fun ?seed ?exec () ->
+       level_report ?seed ?exec ~buffering:Tls.Config.Optimized_push 1);
     ("level3", "Figure 3 campaign, level 3, optimized buffering",
-     fun ?seed () -> level_report ?seed ~buffering:Tls.Config.Optimized_push 3);
+     fun ?seed ?exec () ->
+       level_report ?seed ?exec ~buffering:Tls.Config.Optimized_push 3);
     ("level5", "Figure 3 campaign, level 5, optimized buffering",
-     fun ?seed () -> level_report ?seed ~buffering:Tls.Config.Optimized_push 5);
+     fun ?seed ?exec () ->
+       level_report ?seed ?exec ~buffering:Tls.Config.Optimized_push 5);
     ("level1-nopush", "Figure 3 campaign, level 1-2, default buffering",
-     fun ?seed () ->
-       level_report ?seed ~buffering:Tls.Config.Default_buffered 1);
+     fun ?seed ?exec () ->
+       level_report ?seed ?exec ~buffering:Tls.Config.Default_buffered 1);
     ("level3-nopush", "Figure 3 campaign, level 3, default buffering",
-     fun ?seed () ->
-       level_report ?seed ~buffering:Tls.Config.Default_buffered 3);
+     fun ?seed ?exec () ->
+       level_report ?seed ?exec ~buffering:Tls.Config.Default_buffered 3);
     ("level5-nopush", "Figure 3 campaign, level 5, default buffering",
-     fun ?seed () ->
-       level_report ?seed ~buffering:Tls.Config.Default_buffered 5);
+     fun ?seed ?exec () ->
+       level_report ?seed ?exec ~buffering:Tls.Config.Default_buffered 5);
     ("level1-perf", "Table 3 rows on level 1-2",
-     fun ?seed () -> perf_report ?seed 1);
+     fun ?seed ?exec () -> perf_report ?seed ?exec 1);
     ("level3-perf", "Table 3 rows on level 3",
-     fun ?seed () -> perf_report ?seed 3);
+     fun ?seed ?exec () -> perf_report ?seed ?exec 3);
     ("level5-perf", "Table 3 rows on level 5",
-     fun ?seed () -> perf_report ?seed 5);
+     fun ?seed ?exec () -> perf_report ?seed ?exec 5);
     ("all-kem-scenarios", "Table 4a campaign: KAs under netem scenarios",
-     fun ?seed () -> Report.table4a ?seed ());
+     fun ?seed ?exec () -> Report.table4a ?seed ?exec ());
     ("all-sig-scenarios", "Table 4b campaign: SAs under netem scenarios",
-     fun ?seed () -> Report.table4b ?seed ());
+     fun ?seed ?exec () -> Report.table4b ?seed ?exec ());
     ("all-sphincs", "SPHINCS+ variant selection (Appendix B.6)",
-     fun ?seed () -> all_sphincs_report ?seed ());
+     fun ?seed ?exec () -> all_sphincs_report ?seed ?exec ());
     ("attack", "Section 5.5 asymmetry survey",
-     fun ?seed () -> Report.attack ?seed ());
+     fun ?seed ?exec () -> Report.attack ?seed ?exec ());
     ("ablation-buffer", "BIO buffer-limit sweep",
-     fun ?seed () -> Report.ablation_buffer ?seed ());
+     fun ?seed ?exec () -> Report.ablation_buffer ?seed ?exec ());
     ("ablation-cwnd", "initial congestion-window sweep",
-     fun ?seed () -> Report.ablation_cwnd ?seed ());
+     fun ?seed ?exec () -> Report.ablation_cwnd ?seed ?exec ());
     ("ablation-hrr", "HelloRetryRequest (wrong key-share) fallback cost",
-     fun ?seed () -> Report.ablation_hrr ?seed ()) ]
+     fun ?seed ?exec () -> Report.ablation_hrr ?seed ?exec ()) ]
+
+(* paper-table spellings accepted as synonyms (the CI smoke job and the
+   bench targets use these) *)
+let aliases =
+  [ ("table2a", "all-kem");
+    ("table2b", "all-sig");
+    ("table4a", "all-kem-scenarios");
+    ("table4b", "all-sig-scenarios") ]
 
 let names = List.map (fun (n, _, _) -> n) entries
 
+let resolve name =
+  match List.assoc_opt name aliases with Some n -> n | None -> name
+
 let find name =
+  let name = resolve name in
   match List.find_opt (fun (n, _, _) -> n = name) entries with
   | Some e -> e
   | None -> invalid_arg ("Catalog: unknown experiment " ^ name)
 
-let run ?seed name =
+let run ?seed ?exec name =
   let _, _, f = find name in
-  f ?seed ()
+  f ?seed ?exec ()
 
 let describe name =
   let _, d, _ = find name in

@@ -7,7 +7,17 @@ val names : string list
     [level1|3|5-perf], [all-kem-scenarios], [all-sig-scenarios],
     [attack], [ablation-buffer], [ablation-cwnd]. *)
 
-val run : ?seed:string -> string -> string
-(** @raise Invalid_argument for unknown names. *)
+val aliases : (string * string) list
+(** Paper-table spellings accepted everywhere a name is:
+    [table2a] = [all-kem], [table2b] = [all-sig],
+    [table4a] = [all-kem-scenarios], [table4b] = [all-sig-scenarios]. *)
+
+val resolve : string -> string
+(** Canonical name of an alias; identity for everything else. *)
+
+val run : ?seed:string -> ?exec:Exec.t -> string -> string
+(** Run a campaign through [exec] (default {!Exec.sequential}); the
+    report is bit-identical for any [exec.jobs].
+    @raise Invalid_argument for unknown names. *)
 
 val describe : string -> string

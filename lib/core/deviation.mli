@@ -21,10 +21,11 @@ type grid = {
 }
 
 val analyze :
-  ?buffering:Tls.Config.buffering -> ?seed:string -> int -> grid
+  ?buffering:Tls.Config.buffering -> ?seed:string -> ?exec:Exec.t -> int -> grid
 (** [analyze level] runs the full level-group campaign (the paper's
     [level1]/[level3]/[level5] experiments; [level1-nopush] etc. with
-    [~buffering:Default_buffered]). *)
+    [~buffering:Default_buffered]). Each distinct KA x SA pair is
+    measured exactly once, through [exec] (default sequential). *)
 
 val improvement : optimized:grid -> default:grid -> (string * string * float) list
 (** Figure 3c: per-combination latency gain of the optimized push,

@@ -1,0 +1,51 @@
+(* The campaign execution context: how many domains, which result
+   cache, and whether to narrate progress. Report/Deviation/Whitebox/
+   Amplification build their grids as [Experiment.spec] lists and hand
+   them here; formatting stays sequential and cheap. *)
+
+type t = {
+  jobs : int;
+  cache : Result_cache.t option;
+  progress : bool;
+}
+
+let default_jobs = Pool.default_jobs
+
+let sequential = { jobs = 1; cache = None; progress = false }
+
+let create ?jobs ?cache_dir ?(progress = false) () =
+  { jobs = (match jobs with Some j -> max 1 j | None -> default_jobs ());
+    cache = Option.map (fun dir -> Result_cache.create ~dir) cache_dir;
+    progress }
+
+let cells t specs =
+  let run spec =
+    match t.cache with
+    | None -> (Experiment.run_spec spec, `Miss)
+    | Some c -> Result_cache.find_or_run c spec (fun () -> Experiment.run_spec spec)
+  in
+  let on_done =
+    if not t.progress then None
+    else
+      Some
+        (fun ~index:_ ~completed ~total spec (_, status) elapsed ->
+          Printf.eprintf "  [%*d/%d] %-45s %6.2fs%s\n%!"
+            (String.length (string_of_int total))
+            completed total
+            (Experiment.spec_label spec)
+            elapsed
+            (match status with `Hit -> "  (cached)" | `Miss -> ""))
+  in
+  List.map fst (Pool.map ~jobs:t.jobs ?on_done run specs)
+
+let cell t spec =
+  match cells t [ spec ] with
+  | [ o ] -> o
+  | _ -> assert false
+
+let cache_summary t =
+  Option.map
+    (fun c ->
+      Printf.sprintf "cache: %d cells reused, %d executed"
+        (Result_cache.hits c) (Result_cache.misses c))
+    t.cache

@@ -1,0 +1,33 @@
+(** Campaign execution context: domain count, optional result cache,
+    and progress narration. Every campaign in {!Report}, {!Deviation},
+    {!Whitebox}, {!Amplification} and {!Catalog} accepts one; the
+    default {!sequential} reproduces the historical single-core
+    behaviour bit for bit. *)
+
+type t = {
+  jobs : int;  (** domains used per grid, including the caller's *)
+  cache : Result_cache.t option;
+  progress : bool;  (** per-cell timing lines on stderr *)
+}
+
+val sequential : t
+(** [jobs = 1], no cache, silent — the default everywhere. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val create : ?jobs:int -> ?cache_dir:string -> ?progress:bool -> unit -> t
+(** [jobs] defaults to {!default_jobs}; [cache_dir] opens (creating if
+    needed) a {!Result_cache} there; [progress] defaults to [false]. *)
+
+val cells : t -> Experiment.spec list -> Experiment.outcome list
+(** Evaluate a grid: each cell is served from the cache when possible,
+    executed otherwise, sharded across [jobs] domains. Results are in
+    input order and bit-identical to [List.map Experiment.run_spec]
+    regardless of [jobs] (cells derive independent deterministic
+    seeds). *)
+
+val cell : t -> Experiment.spec -> Experiment.outcome
+
+val cache_summary : t -> string option
+(** One-line hit/miss totals, when a cache is attached. *)

@@ -38,10 +38,81 @@ let normalize_ledger ledger =
   if total <= 0. then []
   else List.map (fun (lib, ms) -> (lib, ms /. total)) ledger
 
-let run ?(buffering = Tls.Config.Optimized_push) ?(scenario = Scenario.no_emulation)
-    ?(duration_s = 60.) ?max_samples ?(seed = "pqtls") ?(real_crypto = false)
+type spec = {
+  sp_buffering : Tls.Config.buffering;
+  sp_scenario : Scenario.t;
+  sp_duration_s : float;
+  sp_max_samples : int option;
+  sp_seed : string;
+  sp_real_crypto : bool;
+  sp_tcp_config : Netsim.Tcp.config;
+  sp_buffer_limit : int;
+  sp_wrong_key_share : bool;
+  sp_kem : Pqc.Kem.t;
+  sp_sig : Pqc.Sigalg.t;
+}
+
+let spec ?(buffering = Tls.Config.Optimized_push)
+    ?(scenario = Scenario.no_emulation) ?(duration_s = 60.) ?max_samples
+    ?(seed = "pqtls") ?(real_crypto = false)
     ?(tcp_config = Netsim.Tcp.default_config) ?(buffer_limit = 4096)
     ?(wrong_key_share = false) kem sig_alg =
+  { sp_buffering = buffering;
+    sp_scenario = scenario;
+    sp_duration_s = duration_s;
+    sp_max_samples = max_samples;
+    sp_seed = seed;
+    sp_real_crypto = real_crypto;
+    sp_tcp_config = tcp_config;
+    sp_buffer_limit = buffer_limit;
+    sp_wrong_key_share = wrong_key_share;
+    sp_kem = kem;
+    sp_sig = sig_alg }
+
+let spec_label sp =
+  Printf.sprintf "%s x %s @ %s%s" sp.sp_kem.Pqc.Kem.name
+    sp.sp_sig.Pqc.Sigalg.name sp.sp_scenario.Scenario.name
+    (match sp.sp_buffering with
+    | Tls.Config.Optimized_push -> ""
+    | Tls.Config.Default_buffered -> " (default-buffered)")
+
+(* A stable, complete rendering of every input that can change the
+   outcome — the pre-image of the result-cache key. Algorithms appear by
+   name only: their behaviour is code, which the cache covers separately
+   with the executable fingerprint. *)
+let spec_fingerprint sp =
+  let netem = sp.sp_scenario.Scenario.netem in
+  let tcp = sp.sp_tcp_config in
+  Printf.sprintf
+    "v1|kem=%s|sig=%s|scenario=%s|loss=%h|loss_towards=%s|delay=%h|jitter=%h|rate=%h|buffering=%s|duration=%h|max_samples=%s|seed=%s|real=%b|mss=%d|cwnd=%d|kernel_ms=%h|buffer_limit=%d|wrong_ks=%b"
+    sp.sp_kem.Pqc.Kem.name sp.sp_sig.Pqc.Sigalg.name
+    sp.sp_scenario.Scenario.name netem.Netsim.Link.loss
+    (Option.value ~default:"-" netem.Netsim.Link.loss_towards)
+    netem.Netsim.Link.delay_s netem.Netsim.Link.jitter_s
+    netem.Netsim.Link.rate_bps
+    (match sp.sp_buffering with
+    | Tls.Config.Optimized_push -> "push"
+    | Tls.Config.Default_buffered -> "buffered")
+    sp.sp_duration_s
+    (match sp.sp_max_samples with None -> "-" | Some n -> string_of_int n)
+    sp.sp_seed sp.sp_real_crypto tcp.Netsim.Tcp.mss
+    tcp.Netsim.Tcp.init_cwnd_segments tcp.Netsim.Tcp.kernel_cost_ms_per_packet
+    sp.sp_buffer_limit sp.sp_wrong_key_share
+
+let run_spec sp =
+  let { sp_buffering = buffering;
+        sp_scenario = scenario;
+        sp_duration_s = duration_s;
+        sp_max_samples = max_samples;
+        sp_seed = seed;
+        sp_real_crypto = real_crypto;
+        sp_tcp_config = tcp_config;
+        sp_buffer_limit = buffer_limit;
+        sp_wrong_key_share = wrong_key_share;
+        sp_kem = kem;
+        sp_sig = sig_alg } =
+    sp
+  in
   (* loss-free runs are deterministic, so a handful of iterations pins the
      medians; lossy runs need a population for a stable median *)
   let max_samples =
@@ -139,6 +210,12 @@ let run ?(buffering = Tls.Config.Optimized_push) ?(scenario = Scenario.no_emulat
     server_cpu_ms = Netsim.Host.total_cpu_ms server_host /. n;
     client_ledger = normalize_ledger (Netsim.Host.ledger client_host);
     server_ledger = normalize_ledger (Netsim.Host.ledger server_host) }
+
+let run ?buffering ?scenario ?duration_s ?max_samples ?seed ?real_crypto
+    ?tcp_config ?buffer_limit ?wrong_key_share kem sig_alg =
+  run_spec
+    (spec ?buffering ?scenario ?duration_s ?max_samples ?seed ?real_crypto
+       ?tcp_config ?buffer_limit ?wrong_key_share kem sig_alg)
 
 let median_of f outcome = Stats.median (List.map f outcome.samples)
 

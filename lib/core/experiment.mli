@@ -36,6 +36,50 @@ type outcome = {
   server_ledger : (string * float) list;
 }
 
+type spec = {
+  sp_buffering : Tls.Config.buffering;
+  sp_scenario : Scenario.t;
+  sp_duration_s : float;
+  sp_max_samples : int option;
+  sp_seed : string;
+  sp_real_crypto : bool;
+  sp_tcp_config : Netsim.Tcp.config;
+  sp_buffer_limit : int;
+  sp_wrong_key_share : bool;
+  sp_kem : Pqc.Kem.t;
+  sp_sig : Pqc.Sigalg.t;
+}
+(** The full parameter set of one campaign cell — what {!run} closes
+    over, reified so grids can be built first and executed later (in
+    parallel, or against the result cache). *)
+
+val spec :
+  ?buffering:Tls.Config.buffering ->
+  ?scenario:Scenario.t ->
+  ?duration_s:float ->
+  ?max_samples:int ->
+  ?seed:string ->
+  ?real_crypto:bool ->
+  ?tcp_config:Netsim.Tcp.config ->
+  ?buffer_limit:int ->
+  ?wrong_key_share:bool ->
+  Pqc.Kem.t ->
+  Pqc.Sigalg.t ->
+  spec
+(** Same defaults as {!run}. *)
+
+val run_spec : spec -> outcome
+(** Execute one cell. Deterministic in the spec alone: two calls with
+    equal specs return structurally identical outcomes, on any domain. *)
+
+val spec_label : spec -> string
+(** Short human-readable cell name for progress lines. *)
+
+val spec_fingerprint : spec -> string
+(** Stable rendering of every outcome-relevant field, used as the
+    pre-image of {!Result_cache} keys. Versioned: bump the leading tag
+    when the meaning of a field changes. *)
+
 val run :
   ?buffering:Tls.Config.buffering ->
   ?scenario:Scenario.t ->

@@ -1,0 +1,124 @@
+(* A small work-stealing pool over OCaml 5 domains, sized for campaign
+   grids: tasks are coarse (one task = one 60-virtual-second experiment,
+   milliseconds to seconds of host time), so every queue operation can
+   afford a mutex and the scheduler can stay simple and obviously
+   correct.
+
+   Each worker owns a deque seeded round-robin; it pops from the front
+   of its own deque and, when empty, steals from the *back* of the
+   busiest other deque, which preserves locality of the initial shard
+   and balances stragglers. The caller's domain participates as worker
+   0, so [jobs = n] uses exactly [n] domains in total. *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+type deque = { lock : Mutex.t; mutable tasks : int list }
+
+let pop_front d =
+  Mutex.protect d.lock (fun () ->
+      match d.tasks with
+      | [] -> None
+      | i :: rest ->
+        d.tasks <- rest;
+        Some i)
+
+let steal_back d =
+  Mutex.protect d.lock (fun () ->
+      match List.rev d.tasks with
+      | [] -> None
+      | i :: rest ->
+        d.tasks <- List.rev rest;
+        Some i)
+
+let length d = Mutex.protect d.lock (fun () -> List.length d.tasks)
+
+let map ?jobs ?on_done f inputs =
+  let inputs = Array.of_list inputs in
+  let n = Array.length inputs in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  let progress = Mutex.create () in
+  let completed = ref 0 in
+  let finish i result elapsed =
+    (match on_done with
+    | None -> ()
+    | Some g ->
+      Mutex.protect progress (fun () ->
+          incr completed;
+          g ~index:i ~completed:!completed ~total:n inputs.(i) result elapsed));
+    result
+  in
+  let timed i =
+    let t0 = Unix.gettimeofday () in
+    let r = f inputs.(i) in
+    finish i r (Unix.gettimeofday () -. t0)
+  in
+  if jobs = 1 || n <= 1 then Array.to_list (Array.init n timed)
+  else begin
+    let workers = min jobs n in
+    let results = Array.make n None in
+    let remaining = Atomic.make n in
+    let failure = Atomic.make None in
+    let deques =
+      Array.init workers (fun _ -> { lock = Mutex.create (); tasks = [] })
+    in
+    for i = n - 1 downto 0 do
+      let d = deques.(i mod workers) in
+      d.tasks <- i :: d.tasks
+    done;
+    let try_steal me =
+      let victim = ref None and best = ref 0 in
+      Array.iteri
+        (fun w d ->
+          if w <> me then begin
+            let l = length d in
+            if l > !best then begin
+              best := l;
+              victim := Some d
+            end
+          end)
+        deques;
+      Option.bind !victim steal_back
+    in
+    let exec i =
+      (try results.(i) <- Some (timed i)
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+      Atomic.decr remaining
+    in
+    let rec worker me =
+      if Atomic.get failure = None then
+        match pop_front deques.(me) with
+        | Some i ->
+          exec i;
+          worker me
+        | None -> (
+          match try_steal me with
+          | Some i ->
+            exec i;
+            worker me
+          | None ->
+            (* nothing queued; other workers may still push nothing new,
+               so just wait for in-flight tasks to drain *)
+            if Atomic.get remaining > 0 then begin
+              Domain.cpu_relax ();
+              worker me
+            end)
+    in
+    let domains =
+      List.init (workers - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+    in
+    worker 0;
+    List.iter Domain.join domains;
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.map
+         (function
+           | Some r -> r
+           | None -> invalid_arg "Pool.map: unfinished task")
+         results)
+  end

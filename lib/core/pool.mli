@@ -1,0 +1,35 @@
+(** Work-stealing domain pool for campaign grids.
+
+    Tasks are coarse (one task = one experiment cell), so the pool
+    favours simplicity: per-worker deques seeded round-robin, idle
+    workers steal from the back of the fullest other deque. Results come
+    back in input order, so a parallel map is a drop-in replacement for
+    [List.map] whenever [f] is pure — which experiment cells are (each
+    builds its own engine, RNG and hosts from a derived seed). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val map :
+  ?jobs:int ->
+  ?on_done:
+    (index:int ->
+    completed:int ->
+    total:int ->
+    'a ->
+    'b ->
+    float ->
+    unit) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
+(** [map ~jobs f xs] is [List.map f xs] evaluated on [jobs] domains
+    (including the calling one). [jobs] defaults to {!default_jobs};
+    [jobs = 1] runs sequentially in the caller with no domain spawned.
+
+    [on_done] fires after each task under an internal lock (safe to
+    print from): input index, completion count, total, the input, the
+    result, and the task's host-time seconds.
+
+    If a task raises, remaining queued tasks are abandoned, in-flight
+    ones drain, and the first exception is re-raised in the caller. *)

@@ -26,13 +26,13 @@ type t2_data = {
   t2_paper : (float * float * float * int * int) option;
 }
 
-let table2_data ?seed which =
-  let algs, run, find =
+let table2_data ?seed ?(exec = Exec.sequential) which =
+  let algs, spec_of, find =
     match which with
     | `A ->
       ( List.map (fun (k : Pqc.Kem.t) -> k.name) Pqc.Registry.kems,
         (fun name ->
-          Experiment.run ?seed (Pqc.Registry.find_kem name)
+          Experiment.spec ?seed (Pqc.Registry.find_kem name)
             Pqc.Registry.baseline_sig),
         fun name ->
           Option.map
@@ -42,7 +42,7 @@ let table2_data ?seed which =
     | `B ->
       ( List.map (fun (s : Pqc.Sigalg.t) -> s.name) Pqc.Registry.sigs,
         (fun name ->
-          Experiment.run ?seed Pqc.Registry.baseline_kem
+          Experiment.spec ?seed Pqc.Registry.baseline_kem
             (Pqc.Registry.find_sig name)),
         fun name ->
           Option.map
@@ -50,9 +50,9 @@ let table2_data ?seed which =
               (r.part_a, r.part_b, r.total_k, r.client_b, r.server_b))
             (Paper_data.find2b name) )
   in
-  List.map
-    (fun name ->
-      let o = run name in
+  let outcomes = Exec.cells exec (List.map spec_of algs) in
+  List.map2
+    (fun name o ->
       { t2_name = name;
         t2_pa = part_a o;
         t2_pb = part_b o;
@@ -60,9 +60,9 @@ let table2_data ?seed which =
         t2_cb = cbytes o;
         t2_sb = sbytes o;
         t2_paper = find name })
-    algs
+    algs outcomes
 
-let table2_rows ?seed which =
+let table2_rows ?seed ?exec which =
   List.map
     (fun r ->
       let pa, pb, tk, cb, sb =
@@ -75,9 +75,9 @@ let table2_rows ?seed which =
         r.t2_name r.t2_pa (fmt_paper pa) r.t2_pb (fmt_paper pb)
         (float_of_int r.t2_count /. 1000.)
         tk r.t2_cb cb r.t2_sb sb)
-    (table2_data ?seed which)
+    (table2_data ?seed ?exec which)
 
-let table2_csv ?seed which =
+let table2_csv ?seed ?exec which =
   let b = Buffer.create 2048 in
   Buffer.add_string b
     "algorithm,partA_ms,partB_ms,handshakes_per_60s,client_bytes,server_bytes,\
@@ -94,28 +94,28 @@ let table2_csv ?seed which =
         (Printf.sprintf "%s,%.3f,%.3f,%d,%d,%d,%s,%s,%s,%d,%d\n" r.t2_name
            r.t2_pa r.t2_pb r.t2_count r.t2_cb r.t2_sb (f ppa) (f ppb)
            (f (ptk *. 1000.)) pcb psb))
-    (table2_data ?seed which);
+    (table2_data ?seed ?exec which);
   Buffer.contents b
 
-let table2a_csv ?seed () = table2_csv ?seed `A
-let table2b_csv ?seed () = table2_csv ?seed `B
+let table2a_csv ?seed ?exec () = table2_csv ?seed ?exec `A
+let table2b_csv ?seed ?exec () = table2_csv ?seed ?exec `B
 
 let header2 =
   Printf.sprintf "%-20s %14s | %14s | %14s | %15s | %15s" "algorithm"
     "partA sim/pap" "partB sim/pap" "#60s sim/pap" "client B sim/pap"
     "server B sim/pap"
 
-let table2a ?seed () =
+let table2a ?seed ?exec () =
   buf_table
     "Table 2a: handshake latency, data usage and count (KAs with rsa:2048)"
     header2
-    (table2_rows ?seed `A)
+    (table2_rows ?seed ?exec `A)
 
-let table2b ?seed () =
+let table2b ?seed ?exec () =
   buf_table
     "Table 2b: handshake latency, data usage and count (SAs with x25519)"
     header2
-    (table2_rows ?seed `B)
+    (table2_rows ?seed ?exec `B)
 
 (* ---- Table 3 ------------------------------------------------------------ *)
 
@@ -125,7 +125,7 @@ let fmt_libs libs =
   |> List.map (fun (lib, f) -> Printf.sprintf "%s %.0f%%" lib (100. *. f))
   |> String.concat " "
 
-let table3 ?seed () =
+let table3 ?seed ?exec () =
   let rows =
     List.map
       (fun r ->
@@ -136,7 +136,7 @@ let table3 ?seed () =
           r.Whitebox.client_cpu_ms r.Whitebox.server_pkts r.Whitebox.client_pkts
           (fmt_libs r.Whitebox.server_libs)
           (fmt_libs r.Whitebox.client_libs))
-      (Whitebox.table ?seed ())
+      (Whitebox.table ?seed ?exec ())
   in
   buf_table "Table 3: white-box measurements"
     (Printf.sprintf "L %-14s %-15s %5s | %11s | %7s | %s" "KA" "SA" "HS/s"
@@ -145,32 +145,39 @@ let table3 ?seed () =
 
 (* ---- Table 4 ------------------------------------------------------------ *)
 
-let table4_rows ?seed which =
-  let algs, run, find =
+let table4_rows ?seed ?(exec = Exec.sequential) which =
+  let algs, spec_of, find =
     match which with
     | `A ->
       ( List.map (fun (k : Pqc.Kem.t) -> k.name) Pqc.Registry.kems,
         (fun name sc ->
-          Experiment.run ?seed ~scenario:sc (Pqc.Registry.find_kem name)
+          Experiment.spec ?seed ~scenario:sc (Pqc.Registry.find_kem name)
             Pqc.Registry.baseline_sig),
         Paper_data.find4a )
     | `B ->
       ( List.map (fun (s : Pqc.Sigalg.t) -> s.name) Pqc.Registry.sigs,
         (fun name sc ->
-          Experiment.run ?seed ~scenario:sc Pqc.Registry.baseline_kem
+          Experiment.spec ?seed ~scenario:sc Pqc.Registry.baseline_kem
             (Pqc.Registry.find_sig name)),
         Paper_data.find4b )
   in
-  List.map
-    (fun name ->
-      let cell sc = total (run name sc) in
+  let nsc = List.length Scenario.all in
+  let outcomes =
+    Exec.cells exec
+      (List.concat_map
+         (fun name -> List.map (spec_of name) Scenario.all)
+         algs)
+    |> Array.of_list
+  in
+  List.mapi
+    (fun i name ->
       let paper =
         match find name with
         | Some (r : Paper_data.t4_row) ->
           [ r.none; r.loss; r.bandwidth; r.delay; r.lte_m; r.five_g ]
         | None -> [ nan; nan; nan; nan; nan; nan ]
       in
-      let sims = List.map cell Scenario.all in
+      let sims = List.init nsc (fun j -> total outcomes.((i * nsc) + j)) in
       let cols =
         List.map2
           (fun sim pap -> Printf.sprintf "%8.2f %s" sim (fmt_paper pap))
@@ -186,27 +193,27 @@ let header4 =
           (fun sc -> Printf.sprintf "%15s" sc.Scenario.label)
           Scenario.all))
 
-let table4a ?seed () =
+let table4a ?seed ?exec () =
   buf_table
     "Table 4a: median handshake latency (ms) per network scenario (KAs, sim/paper)"
     header4
-    (table4_rows ?seed `A)
+    (table4_rows ?seed ?exec `A)
 
-let table4b ?seed () =
+let table4b ?seed ?exec () =
   buf_table
     "Table 4b: median handshake latency (ms) per network scenario (SAs, sim/paper)"
     header4
-    (table4_rows ?seed `B)
+    (table4_rows ?seed ?exec `B)
 
 (* ---- Figure 3 ------------------------------------------------------------ *)
 
-let figure3 ?(seed = "figure3") () =
+let figure3 ?(seed = "figure3") ?exec () =
   let b = Buffer.create 8192 in
   let levels = [ 1; 3; 5 ] in
-  let grids_opt = List.map (Deviation.analyze ~seed) levels in
+  let grids_opt = List.map (Deviation.analyze ~seed ?exec) levels in
   let grids_def =
     List.map
-      (Deviation.analyze ~buffering:Tls.Config.Default_buffered ~seed)
+      (Deviation.analyze ~buffering:Tls.Config.Default_buffered ~seed ?exec)
       levels
   in
   let dump title grids =
@@ -253,21 +260,40 @@ let figure3 ?(seed = "figure3") () =
 
 (* ---- Figure 4 ------------------------------------------------------------ *)
 
-let figure4 ?(seed = "figure4") () =
+let figure4 ?(seed = "figure4") ?(exec = Exec.sequential) () =
   let b = Buffer.create 2048 in
-  let run_kems =
+  let kem_specs =
     List.map
       (fun (k : Pqc.Kem.t) ->
-        (k.name, Experiment.run ~seed (Pqc.Registry.find_kem k.name)
-                   Pqc.Registry.baseline_sig))
+        Experiment.spec ~seed (Pqc.Registry.find_kem k.name)
+          Pqc.Registry.baseline_sig)
       Pqc.Registry.kems
   in
-  let run_sigs =
+  let sig_specs =
     List.map
       (fun (s : Pqc.Sigalg.t) ->
-        (s.name, Experiment.run ~seed Pqc.Registry.baseline_kem
-                   (Pqc.Registry.find_sig s.name)))
+        Experiment.spec ~seed Pqc.Registry.baseline_kem
+          (Pqc.Registry.find_sig s.name))
       Pqc.Registry.sigs
+  in
+  let outcomes = Exec.cells exec (kem_specs @ sig_specs) in
+  let rec split n = function
+    | rest when n = 0 -> ([], rest)
+    | x :: rest ->
+      let a, b = split (n - 1) rest in
+      (x :: a, b)
+    | [] -> invalid_arg "figure4: grid size mismatch"
+  in
+  let kem_outcomes, sig_outcomes = split (List.length kem_specs) outcomes in
+  let run_kems =
+    List.map2
+      (fun (k : Pqc.Kem.t) o -> (k.name, o))
+      Pqc.Registry.kems kem_outcomes
+  in
+  let run_sigs =
+    List.map2
+      (fun (s : Pqc.Sigalg.t) o -> (s.name, o))
+      Pqc.Registry.sigs sig_outcomes
   in
   let dump title entries =
     Buffer.add_string b (title ^ "\n");
@@ -287,8 +313,8 @@ let figure4 ?(seed = "figure4") () =
 
 (* ---- Section 5.5 ---------------------------------------------------------- *)
 
-let attack ?seed () =
-  let rows = Amplification.survey ?seed () in
+let attack ?seed ?exec () =
+  let rows = Amplification.survey ?seed ?exec () in
   let body =
     List.map
       (fun (r : Amplification.row) ->
@@ -315,19 +341,27 @@ let attack ?seed () =
 
 (* ---- ablations ------------------------------------------------------------ *)
 
-let ablation_buffer ?(seed = "ablation") () =
+let ablation_buffer ?(seed = "ablation") ?(exec = Exec.sequential) () =
   let limits = [ 1024; 2048; 4096; 8192; 16384; 65536 ] in
   let kem = Pqc.Registry.find_kem "kyber512" in
   let sa = Pqc.Registry.find_sig "sphincs128" in
+  let outcomes =
+    Exec.cells exec
+      (List.concat_map
+         (fun limit ->
+           List.map
+             (fun buffering ->
+               Experiment.spec ~seed ~buffering ~buffer_limit:limit kem sa)
+             [ Tls.Config.Default_buffered; Tls.Config.Optimized_push ])
+         limits)
+    |> Array.of_list
+  in
   let rows =
-    List.map
-      (fun limit ->
-        let m buffering =
-          total (Experiment.run ~seed ~buffering ~buffer_limit:limit kem sa)
-        in
+    List.mapi
+      (fun i limit ->
         Printf.sprintf "%8d %12.2f %12.2f" limit
-          (m Tls.Config.Default_buffered)
-          (m Tls.Config.Optimized_push))
+          (total outcomes.(2 * i))
+          (total outcomes.((2 * i) + 1)))
       limits
   in
   buf_table
@@ -335,28 +369,35 @@ let ablation_buffer ?(seed = "ablation") () =
     (Printf.sprintf "%8s %12s %12s" "limit B" "default" "optimized")
     rows
 
-let ablation_cwnd ?(seed = "ablation") () =
+let ablation_cwnd ?(seed = "ablation") ?(exec = Exec.sequential) () =
   let windows = [ 4; 10; 20; 40; 80 ] in
   let pairs =
     [ ("x25519", "rsa:2048"); ("kyber768", "dilithium3");
       ("kyber512", "sphincs128"); ("x25519", "sphincs256") ]
   in
+  let outcomes =
+    Exec.cells exec
+      (List.concat_map
+         (fun (k, s) ->
+           List.map
+             (fun w ->
+               let tcp_config =
+                 { Netsim.Tcp.default_config with
+                   Netsim.Tcp.init_cwnd_segments = w }
+               in
+               Experiment.spec ~seed ~scenario:Scenario.high_delay ~tcp_config
+                 (Pqc.Registry.find_kem k) (Pqc.Registry.find_sig s))
+             windows)
+         pairs)
+    |> Array.of_list
+  in
+  let nw = List.length windows in
   let rows =
-    List.map
-      (fun (k, s) ->
+    List.mapi
+      (fun i (k, s) ->
         let cells =
-          List.map
-            (fun w ->
-              let tcp_config =
-                { Netsim.Tcp.default_config with
-                  Netsim.Tcp.init_cwnd_segments = w }
-              in
-              let o =
-                Experiment.run ~seed ~scenario:Scenario.high_delay ~tcp_config
-                  (Pqc.Registry.find_kem k) (Pqc.Registry.find_sig s)
-              in
-              Printf.sprintf "%9.0f" (total o))
-            windows
+          List.init nw (fun j ->
+              Printf.sprintf "%9.0f" (total outcomes.((i * nw) + j)))
         in
         Printf.sprintf "%-12s %-12s %s" k s (String.concat " " cells))
       pairs
@@ -367,7 +408,7 @@ let ablation_cwnd ?(seed = "ablation") () =
        (String.concat " " (List.map (Printf.sprintf "%9d") windows)))
     rows
 
-let ablation_hrr ?(seed = "ablation") () =
+let ablation_hrr ?(seed = "ablation") ?(exec = Exec.sequential) () =
   (* the 2-RTT HelloRetryRequest fallback the paper configured away:
      cost of a wrong pre-computed key share, per scenario *)
   let pairs =
@@ -375,18 +416,29 @@ let ablation_hrr ?(seed = "ablation") () =
       ("p521_kyber1024", "p521_dilithium5") ]
   in
   let scenarios = [ Scenario.no_emulation; Scenario.five_g; Scenario.high_delay ] in
+  let outcomes =
+    Exec.cells exec
+      (List.concat_map
+         (fun (k, s) ->
+           let kem = Pqc.Registry.find_kem k and sa = Pqc.Registry.find_sig s in
+           List.concat_map
+             (fun sc ->
+               List.map
+                 (fun wrong ->
+                   Experiment.spec ~seed ~scenario:sc ~wrong_key_share:wrong
+                     kem sa)
+                 [ false; true ])
+             scenarios)
+         pairs)
+    |> Array.of_list
+  in
+  let per_pair = 2 * List.length scenarios in
   let rows =
-    List.map
-      (fun (k, s) ->
-        let kem = Pqc.Registry.find_kem k and sa = Pqc.Registry.find_sig s in
+    List.mapi
+      (fun i (k, s) ->
         let cells =
-          List.concat_map
-            (fun sc ->
-              let m wrong =
-                total (Experiment.run ~seed ~scenario:sc ~wrong_key_share:wrong kem sa)
-              in
-              [ Printf.sprintf "%9.2f" (m false); Printf.sprintf "%9.2f" (m true) ])
-            scenarios
+          List.init per_pair (fun j ->
+              Printf.sprintf "%9.2f" (total outcomes.((i * per_pair) + j)))
         in
         Printf.sprintf "%-15s %-16s %s" k s (String.concat " " cells))
       pairs
@@ -402,15 +454,15 @@ let ablation_hrr ?(seed = "ablation") () =
              scenarios)))
     rows
 
-let all ?seed () =
-  [ ("table2a", table2a ?seed ());
-    ("table2b", table2b ?seed ());
-    ("figure3", figure3 ?seed ());
-    ("table3", table3 ?seed ());
-    ("table4a", table4a ?seed ());
-    ("table4b", table4b ?seed ());
-    ("figure4", figure4 ?seed ());
-    ("attack", attack ?seed ());
-    ("ablation-buffer", ablation_buffer ?seed ());
-    ("ablation-cwnd", ablation_cwnd ?seed ());
-    ("ablation-hrr", ablation_hrr ?seed ()) ]
+let all ?seed ?exec () =
+  [ ("table2a", table2a ?seed ?exec ());
+    ("table2b", table2b ?seed ?exec ());
+    ("figure3", figure3 ?seed ?exec ());
+    ("table3", table3 ?seed ?exec ());
+    ("table4a", table4a ?seed ?exec ());
+    ("table4b", table4b ?seed ?exec ());
+    ("figure4", figure4 ?seed ?exec ());
+    ("attack", attack ?seed ?exec ());
+    ("ablation-buffer", ablation_buffer ?seed ?exec ());
+    ("ablation-cwnd", ablation_cwnd ?seed ?exec ());
+    ("ablation-hrr", ablation_hrr ?seed ?exec ()) ]

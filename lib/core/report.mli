@@ -1,36 +1,42 @@
 (** Text renderings of every table and figure in the paper's evaluation,
     with the published value printed next to each reproduced one.
     Each function runs the underlying campaign (virtual 60 s per cell)
-    and returns the finished table as a string. *)
+    and returns the finished table as a string.
 
-val table2a : ?seed:string -> unit -> string
-val table2b : ?seed:string -> unit -> string
+    Every campaign accepts an [exec] context ({!Exec.t}, default
+    {!Exec.sequential}): the full cell grid is built first and evaluated
+    through it, so [~exec:(Exec.create ~jobs:n ())] shards the campaign
+    across [n] domains and an attached result cache makes re-runs
+    incremental — with output bit-identical to the sequential run. *)
+
+val table2a : ?seed:string -> ?exec:Exec.t -> unit -> string
+val table2b : ?seed:string -> ?exec:Exec.t -> unit -> string
 
 (** The Table-2 campaigns as machine-readable CSV (the paper's artifact
     format: columns mirror its latencies.csv plus the published values). *)
 
-val table2a_csv : ?seed:string -> unit -> string
+val table2a_csv : ?seed:string -> ?exec:Exec.t -> unit -> string
 
-val table2b_csv : ?seed:string -> unit -> string
-val table3 : ?seed:string -> unit -> string
-val table4a : ?seed:string -> unit -> string
-val table4b : ?seed:string -> unit -> string
-val figure3 : ?seed:string -> unit -> string
-val figure4 : ?seed:string -> unit -> string
-val attack : ?seed:string -> unit -> string
+val table2b_csv : ?seed:string -> ?exec:Exec.t -> unit -> string
+val table3 : ?seed:string -> ?exec:Exec.t -> unit -> string
+val table4a : ?seed:string -> ?exec:Exec.t -> unit -> string
+val table4b : ?seed:string -> ?exec:Exec.t -> unit -> string
+val figure3 : ?seed:string -> ?exec:Exec.t -> unit -> string
+val figure4 : ?seed:string -> ?exec:Exec.t -> unit -> string
+val attack : ?seed:string -> ?exec:Exec.t -> unit -> string
 
-val ablation_buffer : ?seed:string -> unit -> string
+val ablation_buffer : ?seed:string -> ?exec:Exec.t -> unit -> string
 (** Extra (section 4 / 5.2 design lever): handshake latency as a
     function of the OpenSSL buffer limit, under both flight behaviours. *)
 
-val ablation_cwnd : ?seed:string -> unit -> string
+val ablation_cwnd : ?seed:string -> ?exec:Exec.t -> unit -> string
 (** Extra (section 5.4's "tuning factor"): high-delay handshake latency
     as a function of the initial congestion window. *)
 
-val ablation_hrr : ?seed:string -> unit -> string
+val ablation_hrr : ?seed:string -> ?exec:Exec.t -> unit -> string
 (** Extra (section 2's "the 2-RTT fallback never occurred"): what that
     fallback would have cost — a wrong pre-computed key share forces a
     HelloRetryRequest round trip plus a second key generation. *)
 
-val all : ?seed:string -> unit -> (string * string) list
+val all : ?seed:string -> ?exec:Exec.t -> unit -> (string * string) list
 (** Every artifact above as (name, rendering), in paper order. *)

@@ -1,0 +1,88 @@
+(* Disk memoization of completed experiment cells.
+
+   One file per cell under the cache directory, named by the SHA-256 of
+   the cell's full parameter fingerprint plus a fingerprint of the
+   running executable — so a rebuild that changes *any* code invalidates
+   everything, which is the only safe default for Marshal-ed payloads.
+
+   Writes go through a unique temp file followed by [Sys.rename], so
+   concurrent domains (or concurrent processes sharing a cache
+   directory) never observe a torn entry; a corrupt or alien file is
+   treated as a miss and overwritten. *)
+
+let magic = "pqtls-cache-1"
+
+type t = {
+  dir : string;
+  code_fingerprint : string;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let hex s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let create ~dir =
+  mkdir_p dir;
+  let code_fingerprint =
+    try Digest.to_hex (Digest.file Sys.executable_name)
+    with Sys_error _ -> "no-executable"
+  in
+  { dir;
+    code_fingerprint;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0 }
+
+let key t spec =
+  hex
+    (Crypto.Sha256.digest
+       (Experiment.spec_fingerprint spec ^ "|code=" ^ t.code_fingerprint))
+
+let path t k = Filename.concat t.dir (k ^ ".outcome")
+
+let find t k =
+  let read () =
+    let ic = open_in_bin (path t k) in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let m, (o : Experiment.outcome) = Marshal.from_channel ic in
+        if m <> magic then None else Some o)
+  in
+  let r = try read () with Sys_error _ | End_of_file | Failure _ -> None in
+  (match r with
+  | Some _ -> Atomic.incr t.hits
+  | None -> Atomic.incr t.misses);
+  r
+
+let store t k (o : Experiment.outcome) =
+  let final = path t k in
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" final (Unix.getpid ())
+      (Domain.self () :> int)
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Marshal.to_channel oc (magic, o) []);
+  Sys.rename tmp final
+
+let find_or_run t spec f =
+  let k = key t spec in
+  match find t k with
+  | Some o -> (o, `Hit)
+  | None ->
+    let o = f () in
+    store t k o;
+    (o, `Miss)
+
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses

@@ -1,0 +1,34 @@
+(** Disk memoization of {!Experiment.outcome}s, keyed by a SHA-256 of
+    [(spec fingerprint, executable fingerprint)] — re-running a campaign
+    with the same binary, seed and parameters reloads every cell from
+    disk; changing any of them (including rebuilding the code) misses.
+
+    Entries are written atomically (temp file + rename), so one cache
+    directory can safely be shared by parallel domains and by separate
+    processes. Corrupt entries read as misses. *)
+
+type t
+
+val create : dir:string -> t
+(** Creates [dir] (and parents) if needed and fingerprints the running
+    executable. *)
+
+val key : t -> Experiment.spec -> string
+(** Hex cache key of a cell under this cache's code fingerprint. *)
+
+val find : t -> string -> Experiment.outcome option
+(** Lookup by {!key}; counts a hit or a miss. *)
+
+val store : t -> string -> Experiment.outcome -> unit
+
+val find_or_run :
+  t -> Experiment.spec -> (unit -> Experiment.outcome) ->
+  Experiment.outcome * [ `Hit | `Miss ]
+(** The memoized entry point: runs [f] and stores its result only on a
+    miss. *)
+
+val hits : t -> int
+(** Lookups served from disk since [create]. *)
+
+val misses : t -> int
+(** Lookups that had to execute since [create]. *)

@@ -21,10 +21,12 @@ let paper_pairs =
     (3, "kyber768", "dilithium3");
     (5, "kyber1024", "dilithium5") ]
 
-let measure ?(seed = "whitebox") (level, kem_name, sa_name) =
-  let kem = Pqc.Registry.find_kem kem_name in
-  let sa = Pqc.Registry.find_sig sa_name in
-  let o = Experiment.run ~seed kem sa in
+let spec_of ?(seed = "whitebox") (_, kem_name, sa_name) =
+  Experiment.spec ~seed
+    (Pqc.Registry.find_kem kem_name)
+    (Pqc.Registry.find_sig sa_name)
+
+let row_of (level, kem_name, sa_name) o =
   let pkts f = int_of_float (Stats.median_int (List.map f o.Experiment.samples)) in
   { level;
     kem = kem_name;
@@ -37,4 +39,10 @@ let measure ?(seed = "whitebox") (level, kem_name, sa_name) =
     server_libs = o.Experiment.server_ledger;
     client_libs = o.Experiment.client_ledger }
 
-let table ?seed () = List.map (fun p -> measure ?seed p) paper_pairs
+let rows ?seed ?(exec = Exec.sequential) pairs =
+  let outcomes = Exec.cells exec (List.map (spec_of ?seed) pairs) in
+  List.map2 row_of pairs outcomes
+
+let measure ?seed pair = row_of pair (Experiment.run_spec (spec_of ?seed pair))
+
+let table ?seed ?exec () = rows ?seed ?exec paper_pairs

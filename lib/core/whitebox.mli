@@ -20,5 +20,9 @@ val paper_pairs : (int * string * string) list
 (** The eight pairs shown in the paper's Table 3. *)
 
 val measure : ?seed:string -> int * string * string -> row
-val table : ?seed:string -> unit -> row list
+
+val rows : ?seed:string -> ?exec:Exec.t -> (int * string * string) list -> row list
+(** Measure the given pairs through [exec] (default sequential). *)
+
+val table : ?seed:string -> ?exec:Exec.t -> unit -> row list
 (** All of [paper_pairs]. *)

@@ -25,17 +25,23 @@ let find bits =
 
 let key_cache : (int, Rsa.priv) Hashtbl.t = Hashtbl.create 8
 
+(* the cache is shared across domains when campaigns run in parallel *)
+let key_cache_lock = Mutex.create ()
+
 (* Fixed keypair of [bits] modulus bits: embedded primes when available,
    otherwise generated from a fixed seed (slow path). *)
 let fixed_key bits =
-  match Hashtbl.find_opt key_cache bits with
-  | Some k -> k
-  | None ->
-    let k =
-      match find bits with
-      | Some (p, q) -> Rsa.of_primes ~p ~q
+  Mutex.protect key_cache_lock (fun () ->
+      match Hashtbl.find_opt key_cache bits with
+      | Some k -> k
       | None ->
-        Rsa.gen (Drbg.create ~seed:(Printf.sprintf "rsa-fixed-%d" bits)) ~bits
-    in
-    Hashtbl.add key_cache bits k;
-    k
+        let k =
+          match find bits with
+          | Some (p, q) -> Rsa.of_primes ~p ~q
+          | None ->
+            Rsa.gen
+              (Drbg.create ~seed:(Printf.sprintf "rsa-fixed-%d" bits))
+              ~bits
+        in
+        Hashtbl.add key_cache bits k;
+        k)

@@ -6,15 +6,21 @@ type t = {
 
 let cache : (string, t) Hashtbl.t = Hashtbl.create 32
 
+(* the cache is shared across domains when campaigns run in parallel;
+   generation is deterministic, so holding the lock while generating
+   only serializes the first request per algorithm *)
+let cache_lock = Mutex.create ()
+
 let get alg =
   let name =
     alg.Pqc.Sigalg.name ^ if alg.Pqc.Sigalg.mocked then "#mocked" else ""
   in
-  match Hashtbl.find_opt cache name with
-  | Some c -> c
-  | None ->
-    let rng = Crypto.Drbg.create ~seed:("credentials/" ^ name) in
-    let chain, server_key = Certificate.make_chain alg rng in
-    let c = { chain; server_key; alg } in
-    Hashtbl.add cache name c;
-    c
+  Mutex.protect cache_lock (fun () ->
+      match Hashtbl.find_opt cache name with
+      | Some c -> c
+      | None ->
+        let rng = Crypto.Drbg.create ~seed:("credentials/" ^ name) in
+        let chain, server_key = Certificate.make_chain alg rng in
+        let c = { chain; server_key; alg } in
+        Hashtbl.add cache name c;
+        c)
