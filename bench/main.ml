@@ -118,17 +118,22 @@ let targets : (string * (unit -> unit)) list =
     ("micro", run_micro) ]
 
 let () =
-  (* [-j N] and [--cache DIR] apply to every campaign target; the
-     remaining arguments name targets, default all *)
-  let rec parse jobs cache = function
-    | ("-j" | "--jobs") :: n :: rest -> parse (int_of_string_opt n) cache rest
-    | "--cache" :: dir :: rest -> parse jobs (Some dir) rest
-    | names -> (jobs, cache, names)
+  (* [-j N], [--cache DIR], [--retries N] and [-k|--keep-going] apply to
+     every campaign target; the remaining arguments name targets,
+     default all *)
+  let rec parse jobs cache retries keep_going = function
+    | ("-j" | "--jobs") :: n :: rest ->
+      parse (int_of_string_opt n) cache retries keep_going rest
+    | "--cache" :: dir :: rest -> parse jobs (Some dir) retries keep_going rest
+    | "--retries" :: n :: rest ->
+      parse jobs cache (int_of_string_opt n) keep_going rest
+    | ("-k" | "--keep-going") :: rest -> parse jobs cache retries true rest
+    | names -> (jobs, cache, retries, keep_going, names)
   in
-  let jobs, cache_dir, requested =
-    parse None None (List.tl (Array.to_list Sys.argv))
+  let jobs, cache_dir, retries, keep_going, requested =
+    parse None None None false (List.tl (Array.to_list Sys.argv))
   in
-  exec := Core.Exec.create ?jobs ?cache_dir ();
+  exec := Core.Exec.create ?jobs ?cache_dir ?retries ();
   let requested =
     match requested with [] -> List.map fst targets | names -> names
   in
@@ -147,6 +152,5 @@ let () =
           (String.concat " " (List.map fst targets));
         exit 1)
     requested;
-  match Core.Exec.cache_summary !exec with
-  | Some line -> Printf.printf "%s\n%!" line
-  | None -> ()
+  Printf.eprintf "%s\n%!" (Core.Exec.health_summary !exec);
+  if Core.Exec.failed_count !exec > 0 && not keep_going then exit 1

@@ -35,6 +35,22 @@ let quiet_arg =
     value & flag
     & info [ "q"; "quiet" ] ~doc:"Suppress the per-cell progress lines.")
 
+let retries_arg =
+  let doc =
+    "Re-run a failing cell up to $(docv) extra times (each attempt \
+     reseeds the cell deterministically) before recording it as failed."
+  in
+  Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N" ~doc)
+
+let keep_going_arg =
+  Arg.(
+    value & flag
+    & info [ "k"; "keep-going" ]
+        ~doc:
+          "Exit 0 even when cells failed after retries. Reports always \
+           render, with failed cells marked; without this flag a failed \
+           cell makes the run exit 1.")
+
 (* ---- list ---------------------------------------------------------------- *)
 
 let list_cmd =
@@ -61,8 +77,10 @@ let run_cmd =
     Arg.(value & flag & info [ "csv" ]
            ~doc:"Also emit latencies CSVs for all-kem / all-sig (needs -o).")
   in
-  let run seed jobs cache_dir quiet out_dir csv experiments =
-    let exec = Core.Exec.create ~jobs ?cache_dir ~progress:(not quiet) () in
+  let run seed jobs cache_dir quiet retries keep_going out_dir csv experiments =
+    let exec =
+      Core.Exec.create ~jobs ?cache_dir ~progress:(not quiet) ~retries ()
+    in
     List.iter
       (fun name ->
         if not quiet then
@@ -98,19 +116,23 @@ let run_cmd =
             | _ -> ()
           end)
       experiments;
-    match Core.Exec.cache_summary exec with
-    | Some line when not quiet -> Printf.eprintf "%s\n%!" line
-    | _ -> ()
+    (* the health summary goes to stderr: stdout stays bit-identical
+       across --jobs and runs *)
+    let failed = Core.Exec.failed_count exec in
+    if (not quiet) || failed > 0 then
+      Printf.eprintf "%s\n%!" (Core.Exec.health_summary exec);
+    if failed > 0 && not keep_going then exit 1
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Run named experiments (60 virtual seconds per configuration), \
           sharded across domains with $(b,--jobs) and memoized with \
-          $(b,--cache).")
+          $(b,--cache). Failing cells are retried, then marked in the \
+          rendered report; $(b,--keep-going) makes such runs exit 0.")
     Term.(
-      const run $ seed_arg $ jobs_arg $ cache_arg $ quiet_arg $ out_dir $ csv
-      $ experiments)
+      const run $ seed_arg $ jobs_arg $ cache_arg $ quiet_arg $ retries_arg
+      $ keep_going_arg $ out_dir $ csv $ experiments)
 
 (* ---- handshake ------------------------------------------------------------ *)
 

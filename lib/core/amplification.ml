@@ -26,10 +26,17 @@ let survey ?(seed = "attack") ?(exec = Exec.sequential) () =
         (fun (_, k, s) -> (Pqc.Registry.find_kem k, Pqc.Registry.find_sig s))
         Whitebox.paper_pairs
   in
-  let outcomes =
+  let results =
     Exec.cells exec (List.map (fun (k, s) -> Experiment.spec ~seed k s) pairs)
   in
-  let rows = List.map2 (fun (k, s) o -> row_of k s o) pairs outcomes in
+  (* failed cells simply drop out of the survey *)
+  let rows =
+    List.concat
+      (List.map2
+         (fun (k, s) r ->
+           match r with Ok o -> [ row_of k s o ] | Error _ -> [])
+         pairs results)
+  in
   List.sort (fun a b -> Float.compare b.amplification a.amplification) rows
 
 let worst_by f = function

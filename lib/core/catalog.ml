@@ -13,6 +13,12 @@ let level_report ?seed ?exec ~buffering level =
            c.Deviation.kem c.Deviation.sa c.Deviation.measured_ms
            c.Deviation.expected_ms c.Deviation.deviation_ms))
     g.Deviation.cells;
+  List.iter
+    (fun (k, s) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-15s %-15s measured %8s (cell failed)\n" k s
+           "\xe2\x80\x94"))
+    g.Deviation.failed;
   Buffer.contents b
 
 let perf_report ?seed ?exec level =
@@ -21,33 +27,47 @@ let perf_report ?seed ?exec level =
   in
   let b = Buffer.create 1024 in
   Buffer.add_string b (Printf.sprintf "Level-%d white-box profiling\n" level);
-  List.iter
-    (fun r ->
+  List.iter2
+    (fun (_, kem, sa) r ->
       Buffer.add_string b
-        (Printf.sprintf "  %-15s %-15s %4.0f hs/s cpu %5.2f/%5.2f ms\n"
-           r.Whitebox.kem r.Whitebox.sa r.Whitebox.handshakes_per_s
-           r.Whitebox.server_cpu_ms r.Whitebox.client_cpu_ms))
+        (match r with
+        | Some r ->
+          Printf.sprintf "  %-15s %-15s %4.0f hs/s cpu %5.2f/%5.2f ms\n"
+            r.Whitebox.kem r.Whitebox.sa r.Whitebox.handshakes_per_s
+            r.Whitebox.server_cpu_ms r.Whitebox.client_cpu_ms
+        | None ->
+          Printf.sprintf "  %-15s %-15s %4s hs/s (cell failed)\n" kem sa
+            "\xe2\x80\x94"))
+    rows
     (Whitebox.rows ?seed ?exec rows);
   Buffer.contents b
 
 (* the Appendix-B all-sphincs run: find the fastest SPHINCS+ profile *)
 let all_sphincs_report ?seed ?(exec = Exec.sequential) () =
-  let outcomes =
+  let results =
     Exec.cells exec
       (List.map
          (fun (v : Pqc.Sigalg.t) ->
            Experiment.spec ?seed Pqc.Registry.baseline_kem v)
          Pqc.Registry.sphincs_variants)
   in
-  let rows =
-    List.map2
-      (fun (v : Pqc.Sigalg.t) o ->
-        let total =
-          Stats.median
-            (List.map (fun s -> s.Experiment.total_ms) o.Experiment.samples)
-        in
-        (v.Pqc.Sigalg.name, total, v.Pqc.Sigalg.signature_bytes))
-      Pqc.Registry.sphincs_variants outcomes
+  (* failed variants drop out of the ranking and are marked below it *)
+  let rows, failed =
+    List.partition_map Fun.id
+      (List.map2
+         (fun (v : Pqc.Sigalg.t) r ->
+           match r with
+           | Ok o ->
+             let total =
+               Stats.median
+                 (List.map
+                    (fun s -> s.Experiment.total_ms)
+                    o.Experiment.samples)
+             in
+             Either.Left
+               (v.Pqc.Sigalg.name, total, v.Pqc.Sigalg.signature_bytes)
+           | Error _ -> Either.Right v.Pqc.Sigalg.name)
+         Pqc.Registry.sphincs_variants results)
   in
   let sorted = List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) rows in
   let b = Buffer.create 1024 in
@@ -58,6 +78,11 @@ let all_sphincs_report ?seed ?(exec = Exec.sequential) () =
       Buffer.add_string b
         (Printf.sprintf "  %-14s %9.2f ms   sig %6d B\n" n t sig_b))
     sorted;
+  List.iter
+    (fun n ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-14s %9s ms   (cell failed)\n" n "\xe2\x80\x94"))
+    failed;
   (match sorted with
   | (best, _, _) :: _ ->
     Buffer.add_string b

@@ -10,6 +10,7 @@ type grid = {
   level : int;
   buffering : Tls.Config.buffering;
   cells : cell list;
+  failed : (string * string) list;
 }
 
 let total outcome = Experiment.median_of (fun s -> s.Experiment.total_ms) outcome
@@ -36,37 +37,49 @@ let analyze ?(buffering = Tls.Config.Optimized_push) ?(seed = "deviation")
           (k2.Pqc.Kem.name, s2.Pqc.Sigalg.name))
       pairs
   in
-  let outcomes =
+  let results =
     Exec.cells exec
       (List.map (fun (k, s) -> Experiment.spec ~buffering ~seed k s) distinct)
   in
+  (* only completed cells enter the lookup table; a combination whose
+     own measurement or either marginal (or the baseline) failed lands
+     in [failed] instead of aborting the whole grid *)
   let table =
-    List.map2
-      (fun (k, s) o -> ((k.Pqc.Kem.name, s.Pqc.Sigalg.name), total o))
-      distinct outcomes
+    List.concat
+      (List.map2
+         (fun (k, s) r ->
+           match r with
+           | Ok o -> [ ((k.Pqc.Kem.name, s.Pqc.Sigalg.name), total o) ]
+           | Error _ -> [])
+         distinct results)
   in
   let measure k s =
-    List.assoc (k.Pqc.Kem.name, s.Pqc.Sigalg.name) table
+    List.assoc_opt (k.Pqc.Kem.name, s.Pqc.Sigalg.name) table
   in
   let m_base = measure baseline_kem baseline_sig in
-  let cells =
-    List.concat_map
-      (fun k ->
-        List.map
-          (fun s ->
-            let measured = measure k s in
-            let expected =
-              measure k baseline_sig +. measure baseline_kem s -. m_base
-            in
-            { kem = k.Pqc.Kem.name;
-              sa = s.Pqc.Sigalg.name;
-              measured_ms = measured;
-              expected_ms = expected;
-              deviation_ms = expected -. measured })
-          sigs)
-      kems
+  let cells, failed =
+    List.partition_map Fun.id
+      (List.concat_map
+         (fun k ->
+           List.map
+             (fun s ->
+               match
+                 ( measure k s, measure k baseline_sig,
+                   measure baseline_kem s, m_base )
+               with
+               | Some measured, Some mk, Some ms, Some mb ->
+                 let expected = mk +. ms -. mb in
+                 Either.Left
+                   { kem = k.Pqc.Kem.name;
+                     sa = s.Pqc.Sigalg.name;
+                     measured_ms = measured;
+                     expected_ms = expected;
+                     deviation_ms = expected -. measured }
+               | _ -> Either.Right (k.Pqc.Kem.name, s.Pqc.Sigalg.name))
+             sigs)
+         kems)
   in
-  { level; buffering; cells }
+  { level; buffering; cells; failed }
 
 let improvement ~optimized ~default =
   List.filter_map

@@ -18,6 +18,10 @@ type grid = {
   level : int;
   buffering : Tls.Config.buffering;
   cells : cell list;
+  failed : (string * string) list;
+      (** KA x SA combinations with no deviation value because the
+          pair's own cell, one of its marginals, or the baseline failed
+          (after retries); renderers mark these instead of aborting. *)
 }
 
 val analyze :

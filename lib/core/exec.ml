@@ -1,47 +1,155 @@
 (* The campaign execution context: how many domains, which result
-   cache, and whether to narrate progress. Report/Deviation/Whitebox/
-   Amplification build their grids as [Experiment.spec] lists and hand
-   them here; formatting stays sequential and cheap. *)
+   cache, retry budget, and whether to narrate progress.
+   Report/Deviation/Whitebox/Amplification build their grids as
+   [Experiment.spec] lists and hand them here; formatting stays
+   sequential and cheap.
+
+   Execution is fault-tolerant: a cell that raises is retried up to
+   [retries] times with a deterministically derived per-attempt seed,
+   and an exhausted budget yields [Error] instead of killing the
+   campaign — renderers mark the cell and every completed neighbour
+   survives. Failures are never written to the result cache. *)
+
+type cell_error = {
+  ce_message : string;
+  ce_backtrace : string;
+  ce_attempts : int;
+  ce_elapsed_s : float;
+}
+
+type cell_result = (Experiment.outcome, cell_error) result
+
+type counters = {
+  c_ok : int Atomic.t;
+  c_retried : int Atomic.t;
+  c_failed : int Atomic.t;
+  c_started : float;
+}
 
 type t = {
   jobs : int;
   cache : Result_cache.t option;
   progress : bool;
+  retries : int;
+  fail_cell : string option;
+  counters : counters;
 }
 
 let default_jobs = Pool.default_jobs
 
-let sequential = { jobs = 1; cache = None; progress = false }
+let fresh_counters () =
+  { c_ok = Atomic.make 0;
+    c_retried = Atomic.make 0;
+    c_failed = Atomic.make 0;
+    c_started = Unix.gettimeofday () }
 
-let create ?jobs ?cache_dir ?(progress = false) () =
+let sequential =
+  { jobs = 1; cache = None; progress = false; retries = 1; fail_cell = None;
+    counters = fresh_counters () }
+
+let create ?jobs ?cache_dir ?(progress = false) ?(retries = 1) ?fail_cell () =
+  Printexc.record_backtrace true;
   { jobs = (match jobs with Some j -> max 1 j | None -> default_jobs ());
     cache = Option.map (fun dir -> Result_cache.create ~dir) cache_dir;
-    progress }
+    progress;
+    retries = max 0 retries;
+    fail_cell =
+      (match fail_cell with
+      | Some _ -> fail_cell
+      | None -> Sys.getenv_opt "PQTLS_FAIL_CELL");
+    counters = fresh_counters () }
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* attempt 0 runs the spec verbatim (cache keys and historical outputs
+   are unchanged); attempt [k > 0] reseeds the cell's DRBG through the
+   seed string, so retry results depend only on the spec and the attempt
+   number — never on scheduling or [jobs] *)
+let attempt_spec spec k =
+  if k = 0 then spec
+  else
+    { spec with
+      Experiment.sp_seed =
+        Printf.sprintf "%s#retry%d" spec.Experiment.sp_seed k }
+
+let run_cell t spec =
+  let t0 = Unix.gettimeofday () in
+  let rec attempt k =
+    match
+      (match t.fail_cell with
+      | Some needle when contains ~needle (Experiment.spec_label spec) ->
+        failwith ("injected failure for " ^ Experiment.spec_label spec)
+      | _ -> ());
+      Experiment.run_spec (attempt_spec spec k)
+    with
+    | o ->
+      Atomic.incr t.counters.c_ok;
+      if k > 0 then Atomic.incr t.counters.c_retried;
+      Ok o
+    | exception e ->
+      let bt = Printexc.get_backtrace () in
+      if k < t.retries then attempt (k + 1)
+      else begin
+        Atomic.incr t.counters.c_failed;
+        Error
+          { ce_message = Printexc.to_string e;
+            ce_backtrace = bt;
+            ce_attempts = k + 1;
+            ce_elapsed_s = Unix.gettimeofday () -. t0 }
+      end
+  in
+  attempt 0
 
 let cells t specs =
   let run spec =
     match t.cache with
-    | None -> (Experiment.run_spec spec, `Miss)
-    | Some c -> Result_cache.find_or_run c spec (fun () -> Experiment.run_spec spec)
+    | None -> (run_cell t spec, `Miss)
+    | Some c -> (
+      let k = Result_cache.key c spec in
+      match Result_cache.find c k with
+      | Some o ->
+        Atomic.incr t.counters.c_ok;
+        (Ok o, `Hit)
+      | None ->
+        let r = run_cell t spec in
+        (* failures are never cached: the next run re-executes the cell
+           instead of replaying the error *)
+        (match r with Ok o -> Result_cache.store c k o | Error _ -> ());
+        (r, `Miss))
   in
   let on_done =
     if not t.progress then None
     else
       Some
-        (fun ~index:_ ~completed ~total spec (_, status) elapsed ->
+        (fun ~index:_ ~completed ~total spec (r, status) elapsed ->
+          let note =
+            match (r, status) with
+            | Ok _, `Hit -> "  (cached)"
+            | Ok _, `Miss -> ""
+            | Error e, _ ->
+              Printf.sprintf "  FAILED after %d attempt%s: %s" e.ce_attempts
+                (if e.ce_attempts = 1 then "" else "s")
+                e.ce_message
+          in
           Printf.eprintf "  [%*d/%d] %-45s %6.2fs%s\n%!"
             (String.length (string_of_int total))
             completed total
             (Experiment.spec_label spec)
-            elapsed
-            (match status with `Hit -> "  (cached)" | `Miss -> ""))
+            elapsed note)
   in
   List.map fst (Pool.map ~jobs:t.jobs ?on_done run specs)
 
 let cell t spec =
   match cells t [ spec ] with
-  | [ o ] -> o
+  | [ r ] -> r
   | _ -> assert false
+
+let ok_count t = Atomic.get t.counters.c_ok
+let retried_count t = Atomic.get t.counters.c_retried
+let failed_count t = Atomic.get t.counters.c_failed
 
 let cache_summary t =
   Option.map
@@ -49,3 +157,9 @@ let cache_summary t =
       Printf.sprintf "cache: %d cells reused, %d executed"
         (Result_cache.hits c) (Result_cache.misses c))
     t.cache
+
+let health_summary t =
+  Printf.sprintf "campaign health: %d cells ok (%d retried), %d failed%s; wall %.1f s"
+    (ok_count t) (retried_count t) (failed_count t)
+    (match cache_summary t with None -> "" | Some line -> "; " ^ line)
+    (Unix.gettimeofday () -. t.counters.c_started)

@@ -1,33 +1,89 @@
 (** Campaign execution context: domain count, optional result cache,
-    and progress narration. Every campaign in {!Report}, {!Deviation},
-    {!Whitebox}, {!Amplification} and {!Catalog} accepts one; the
-    default {!sequential} reproduces the historical single-core
-    behaviour bit for bit. *)
+    per-cell retry budget, and progress narration. Every campaign in
+    {!Report}, {!Deviation}, {!Whitebox}, {!Amplification} and
+    {!Catalog} accepts one; the default {!sequential} reproduces the
+    historical single-core behaviour bit for bit.
+
+    Execution is fault-tolerant end to end: a cell whose experiment
+    raises (e.g. zero completed handshakes under 10 % loss) is retried
+    with a deterministically reseeded DRBG, and if the attempt budget is
+    exhausted the campaign records an {!cell_error} for that cell and
+    keeps going — renderers mark the failed cell instead of aborting,
+    and the health counters report what happened. *)
+
+type cell_error = {
+  ce_message : string;  (** [Printexc.to_string] of the last exception *)
+  ce_backtrace : string;  (** backtrace of the last failing attempt *)
+  ce_attempts : int;  (** attempts made, [>= 1] *)
+  ce_elapsed_s : float;  (** host seconds spent across all attempts *)
+}
+
+type cell_result = (Experiment.outcome, cell_error) result
+
+type counters = {
+  c_ok : int Atomic.t;
+  c_retried : int Atomic.t;
+  c_failed : int Atomic.t;
+  c_started : float;
+}
+(** Campaign health, accumulated across every {!cells} call on this
+    context (domain-safe). *)
 
 type t = {
   jobs : int;  (** domains used per grid, including the caller's *)
   cache : Result_cache.t option;
   progress : bool;  (** per-cell timing lines on stderr *)
+  retries : int;  (** extra attempts granted to a failing cell *)
+  fail_cell : string option;
+      (** fault injection for tests/CI: any cell whose
+          {!Experiment.spec_label} contains this substring raises on
+          every attempt. Defaults from [PQTLS_FAIL_CELL]. *)
+  counters : counters;
 }
 
 val sequential : t
-(** [jobs = 1], no cache, silent — the default everywhere. *)
+(** [jobs = 1], no cache, silent, one retry — the default everywhere. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], at least 1. *)
 
-val create : ?jobs:int -> ?cache_dir:string -> ?progress:bool -> unit -> t
+val create :
+  ?jobs:int ->
+  ?cache_dir:string ->
+  ?progress:bool ->
+  ?retries:int ->
+  ?fail_cell:string ->
+  unit ->
+  t
 (** [jobs] defaults to {!default_jobs}; [cache_dir] opens (creating if
-    needed) a {!Result_cache} there; [progress] defaults to [false]. *)
+    needed) a {!Result_cache} there; [progress] defaults to [false];
+    [retries] defaults to [1]; [fail_cell] defaults to the
+    [PQTLS_FAIL_CELL] environment variable (unset = no injection). *)
 
-val cells : t -> Experiment.spec list -> Experiment.outcome list
+val cells : t -> Experiment.spec list -> cell_result list
 (** Evaluate a grid: each cell is served from the cache when possible,
     executed otherwise, sharded across [jobs] domains. Results are in
-    input order and bit-identical to [List.map Experiment.run_spec]
-    regardless of [jobs] (cells derive independent deterministic
-    seeds). *)
+    input order and bit-identical regardless of [jobs]: cells derive
+    independent deterministic seeds, and retry attempt [k] reruns the
+    cell with seed ["<seed>#retry<k>"], so even retried and failed cells
+    are a pure function of the spec and the budget. A failing cell
+    yields [Error] (never cached); completed cells are unaffected. *)
 
-val cell : t -> Experiment.spec -> Experiment.outcome
+val cell : t -> Experiment.spec -> cell_result
+
+val ok_count : t -> int
+(** Cells that completed (first try, retry, or cache hit). *)
+
+val retried_count : t -> int
+(** Completed cells that needed more than one attempt. *)
+
+val failed_count : t -> int
+(** Cells that exhausted the attempt budget. *)
 
 val cache_summary : t -> string option
 (** One-line hit/miss totals, when a cache is attached. *)
+
+val health_summary : t -> string
+(** One line: cells ok / retried / failed, cache hits when a cache is
+    attached, and wall time since the context was created. Wall time is
+    host time — print this to stderr to keep reports deterministic. *)

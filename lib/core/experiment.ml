@@ -195,9 +195,12 @@ let run_spec sp =
   let mean_iter =
     Stats.mean (List.map (fun s -> s.iteration_ms) samples) /. 1000.
   in
+  (* a per-minute rate whatever the configured duration: extrapolate
+     from the mean iteration time when the sample cap cut the run short,
+     otherwise scale the raw count by 60 / duration *)
   let per_minute =
-    if !count >= max_samples then int_of_float (duration_s /. mean_iter)
-    else !count
+    if !count >= max_samples then int_of_float (60. /. mean_iter)
+    else int_of_float (float_of_int !count *. 60. /. duration_s)
   in
   let n = float_of_int !count in
   { kem_name = kem.Pqc.Kem.name;

@@ -27,8 +27,9 @@ type outcome = {
   buffering : Tls.Config.buffering;
   samples : sample list;
   handshakes_per_minute : int;
-      (** completed in the virtual 60 s (extrapolated when the sample cap
-          was hit first). *)
+      (** per-minute handshake rate: the raw count scaled by
+          [60 / duration_s], or extrapolated from the mean iteration
+          time when the sample cap was hit first. *)
   client_cpu_ms : float;  (** mean CPU cost per handshake, all libraries *)
   server_cpu_ms : float;
   client_ledger : (string * float) list;
@@ -70,7 +71,11 @@ val spec :
 
 val run_spec : spec -> outcome
 (** Execute one cell. Deterministic in the spec alone: two calls with
-    equal specs return structurally identical outcomes, on any domain. *)
+    equal specs return structurally identical outcomes, on any domain.
+    @raise Invalid_argument if not a single handshake completed within
+    the duration (possible under heavy impairment, or with a sample /
+    duration budget of zero) — the campaign layer ({!Exec}) turns this
+    into a retried, then recorded, cell failure. *)
 
 val spec_label : spec -> string
 (** Short human-readable cell name for progress lines. *)

@@ -8,7 +8,12 @@
    of its own deque and, when empty, steals from the *back* of the
    busiest other deque, which preserves locality of the initial shard
    and balances stragglers. The caller's domain participates as worker
-   0, so [jobs = n] uses exactly [n] domains in total. *)
+   0, so [jobs = n] uses exactly [n] domains in total.
+
+   A raising task abandons the rest of the map and re-raises in the
+   caller — a backstop only: campaign cells are wrapped into [result]
+   values by [Exec] before they get here, so a failing cell degrades
+   one grid entry instead of killing the whole campaign. *)
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 

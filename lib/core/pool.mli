@@ -32,4 +32,8 @@ val map :
     result, and the task's host-time seconds.
 
     If a task raises, remaining queued tasks are abandoned, in-flight
-    ones drain, and the first exception is re-raised in the caller. *)
+    ones drain, and the first exception is re-raised in the caller.
+    This is a backstop for genuine bugs: the campaign layer ({!Exec})
+    catches per-cell failures into [(_, _) result] values before they
+    reach the pool, so one failing experiment cell cannot abandon the
+    rest of a grid. *)

@@ -8,6 +8,10 @@ let buf_table title header rows =
 
 let fmt_paper v = if Float.is_nan v then "   -  " else Printf.sprintf "%6.2f" v
 
+(* a failed cell renders as an em dash, right-aligned in an [n]-column
+   field (the dash is 3 bytes of UTF-8 but displays as one character) *)
+let dash n = String.make (max 0 (n - 1)) ' ' ^ "\xe2\x80\x94"
+
 let part_a o = Experiment.median_of (fun s -> s.Experiment.part_a_ms) o
 let part_b o = Experiment.median_of (fun s -> s.Experiment.part_b_ms) o
 let total o = Experiment.median_of (fun s -> s.Experiment.total_ms) o
@@ -18,11 +22,8 @@ let sbytes o = Experiment.median_bytes (fun s -> s.Experiment.server_bytes) o
 
 type t2_data = {
   t2_name : string;
-  t2_pa : float;
-  t2_pb : float;
-  t2_count : int;
-  t2_cb : int;
-  t2_sb : int;
+  t2_sim : (float * float * int * int * int) option;
+      (* partA, partB, count, client B, server B; None = cell failed *)
   t2_paper : (float * float * float * int * int) option;
 }
 
@@ -50,17 +51,19 @@ let table2_data ?seed ?(exec = Exec.sequential) which =
               (r.part_a, r.part_b, r.total_k, r.client_b, r.server_b))
             (Paper_data.find2b name) )
   in
-  let outcomes = Exec.cells exec (List.map spec_of algs) in
+  let results = Exec.cells exec (List.map spec_of algs) in
   List.map2
-    (fun name o ->
+    (fun name r ->
       { t2_name = name;
-        t2_pa = part_a o;
-        t2_pb = part_b o;
-        t2_count = o.Experiment.handshakes_per_minute;
-        t2_cb = cbytes o;
-        t2_sb = sbytes o;
+        t2_sim =
+          (match r with
+          | Ok o ->
+            Some
+              ( part_a o, part_b o, o.Experiment.handshakes_per_minute,
+                cbytes o, sbytes o )
+          | Error _ -> None);
         t2_paper = find name })
-    algs outcomes
+    algs results
 
 let table2_rows ?seed ?exec which =
   List.map
@@ -70,11 +73,17 @@ let table2_rows ?seed ?exec which =
         | Some v -> v
         | None -> (nan, nan, nan, 0, 0)
       in
-      Printf.sprintf
-        "%-20s %6.2f %s | %6.2f %s | %6.1fk %5.1fk | %7d %7d | %7d %7d"
-        r.t2_name r.t2_pa (fmt_paper pa) r.t2_pb (fmt_paper pb)
-        (float_of_int r.t2_count /. 1000.)
-        tk r.t2_cb cb r.t2_sb sb)
+      match r.t2_sim with
+      | Some (spa, spb, scount, scb, ssb) ->
+        Printf.sprintf
+          "%-20s %6.2f %s | %6.2f %s | %6.1fk %5.1fk | %7d %7d | %7d %7d"
+          r.t2_name spa (fmt_paper pa) spb (fmt_paper pb)
+          (float_of_int scount /. 1000.)
+          tk scb cb ssb sb
+      | None ->
+        Printf.sprintf "%-20s %s %s | %s %s | %s %5.1fk | %s %7d | %s %7d"
+          r.t2_name (dash 6) (fmt_paper pa) (dash 6) (fmt_paper pb) (dash 7)
+          tk (dash 7) cb (dash 7) sb)
     (table2_data ?seed ?exec which)
 
 let table2_csv ?seed ?exec which =
@@ -90,9 +99,14 @@ let table2_csv ?seed ?exec which =
         | None -> (nan, nan, nan, 0, 0)
       in
       let f v = if Float.is_nan v then "" else Printf.sprintf "%.3f" v in
+      let sim =
+        match r.t2_sim with
+        | Some (spa, spb, scount, scb, ssb) ->
+          Printf.sprintf "%.3f,%.3f,%d,%d,%d" spa spb scount scb ssb
+        | None -> ",,,," (* failed cell: empty sim columns *)
+      in
       Buffer.add_string b
-        (Printf.sprintf "%s,%.3f,%.3f,%d,%d,%d,%s,%s,%s,%d,%d\n" r.t2_name
-           r.t2_pa r.t2_pb r.t2_count r.t2_cb r.t2_sb (f ppa) (f ppb)
+        (Printf.sprintf "%s,%s,%s,%s,%s,%d,%d\n" r.t2_name sim (f ppa) (f ppb)
            (f (ptk *. 1000.)) pcb psb))
     (table2_data ?seed ?exec which);
   Buffer.contents b
@@ -127,15 +141,22 @@ let fmt_libs libs =
 
 let table3 ?seed ?exec () =
   let rows =
-    List.map
-      (fun r ->
-        Printf.sprintf
-          "%d %-14s %-15s %5.0f | %5.2f %5.2f | %3d %3d | S: %s | C: %s"
-          r.Whitebox.level r.Whitebox.kem r.Whitebox.sa
-          r.Whitebox.handshakes_per_s r.Whitebox.server_cpu_ms
-          r.Whitebox.client_cpu_ms r.Whitebox.server_pkts r.Whitebox.client_pkts
-          (fmt_libs r.Whitebox.server_libs)
-          (fmt_libs r.Whitebox.client_libs))
+    List.map2
+      (fun (level, kem, sa) r ->
+        match r with
+        | Some r ->
+          Printf.sprintf
+            "%d %-14s %-15s %5.0f | %5.2f %5.2f | %3d %3d | S: %s | C: %s"
+            r.Whitebox.level r.Whitebox.kem r.Whitebox.sa
+            r.Whitebox.handshakes_per_s r.Whitebox.server_cpu_ms
+            r.Whitebox.client_cpu_ms r.Whitebox.server_pkts
+            r.Whitebox.client_pkts
+            (fmt_libs r.Whitebox.server_libs)
+            (fmt_libs r.Whitebox.client_libs)
+        | None ->
+          Printf.sprintf "%d %-14s %-15s %s | %s %s | %s %s | (cell failed)"
+            level kem sa (dash 5) (dash 5) (dash 5) (dash 3) (dash 3))
+      Whitebox.paper_pairs
       (Whitebox.table ?seed ?exec ())
   in
   buf_table "Table 3: white-box measurements"
@@ -177,10 +198,18 @@ let table4_rows ?seed ?(exec = Exec.sequential) which =
           [ r.none; r.loss; r.bandwidth; r.delay; r.lte_m; r.five_g ]
         | None -> [ nan; nan; nan; nan; nan; nan ]
       in
-      let sims = List.init nsc (fun j -> total outcomes.((i * nsc) + j)) in
+      let sims =
+        List.init nsc (fun j ->
+            match outcomes.((i * nsc) + j) with
+            | Ok o -> Some (total o)
+            | Error _ -> None)
+      in
       let cols =
         List.map2
-          (fun sim pap -> Printf.sprintf "%8.2f %s" sim (fmt_paper pap))
+          (fun sim pap ->
+            match sim with
+            | Some v -> Printf.sprintf "%8.2f %s" v (fmt_paper pap)
+            | None -> Printf.sprintf "%s %s" (dash 8) (fmt_paper pap))
           sims paper
       in
       Printf.sprintf "%-20s %s" name (String.concat " | " cols))
@@ -229,7 +258,13 @@ let figure3 ?(seed = "figure3") ?exec () =
                  g.Deviation.level c.Deviation.kem c.Deviation.sa
                  c.Deviation.measured_ms c.Deviation.expected_ms
                  c.Deviation.deviation_ms))
-          g.Deviation.cells)
+          g.Deviation.cells;
+        List.iter
+          (fun (k, s) ->
+            Buffer.add_string b
+              (Printf.sprintf "  %d     %-15s %-15s %s %s %s  (cell failed)\n"
+                 g.Deviation.level k s (dash 8) (dash 8) (dash 9)))
+          g.Deviation.failed)
       grids;
     let all_devs =
       List.concat_map
@@ -237,10 +272,15 @@ let figure3 ?(seed = "figure3") ?exec () =
           List.map (fun c -> c.Deviation.deviation_ms) g.Deviation.cells)
         grids
     in
-    let lo, hi = Stats.min_max all_devs in
-    Buffer.add_string b
-      (Printf.sprintf "  deviation median %+0.2f ms, range [%+0.2f, %+0.2f]\n\n"
-         (Stats.median all_devs) lo hi)
+    if all_devs = [] then
+      Buffer.add_string b "  (no cells completed)\n\n"
+    else begin
+      let lo, hi = Stats.min_max all_devs in
+      Buffer.add_string b
+        (Printf.sprintf
+           "  deviation median %+0.2f ms, range [%+0.2f, %+0.2f]\n\n"
+           (Stats.median all_devs) lo hi)
+    end
   in
   dump "Figure 3a: deviation from additive prediction (default OpenSSL)"
     grids_def;
@@ -285,17 +325,24 @@ let figure4 ?(seed = "figure4") ?(exec = Exec.sequential) () =
     | [] -> invalid_arg "figure4: grid size mismatch"
   in
   let kem_outcomes, sig_outcomes = split (List.length kem_specs) outcomes in
-  let run_kems =
-    List.map2
-      (fun (k : Pqc.Kem.t) o -> (k.name, o))
-      Pqc.Registry.kems kem_outcomes
+  (* failed cells drop out of the ranking and are listed below it *)
+  let keep names results =
+    List.concat
+      (List.map2
+         (fun n r -> match r with Ok o -> [ (n, o) ] | Error _ -> [])
+         names results)
   in
-  let run_sigs =
-    List.map2
-      (fun (s : Pqc.Sigalg.t) o -> (s.name, o))
-      Pqc.Registry.sigs sig_outcomes
+  let lost names results =
+    List.concat
+      (List.map2
+         (fun n r -> match r with Ok _ -> [] | Error _ -> [ n ])
+         names results)
   in
-  let dump title entries =
+  let kem_names = List.map (fun (k : Pqc.Kem.t) -> k.name) Pqc.Registry.kems in
+  let sig_names = List.map (fun (s : Pqc.Sigalg.t) -> s.name) Pqc.Registry.sigs in
+  let run_kems = keep kem_names kem_outcomes in
+  let run_sigs = keep sig_names sig_outcomes in
+  let dump title entries failures =
     Buffer.add_string b (title ^ "\n");
     List.iter
       (fun (e : Ranking.entry) ->
@@ -303,12 +350,20 @@ let figure4 ?(seed = "figure4") ?(exec = Exec.sequential) () =
           (Printf.sprintf "  [%2d] %-20s %8.2f ms\n" e.Ranking.rank
              e.Ranking.name e.Ranking.latency_ms))
       entries;
+    List.iter
+      (fun n ->
+        Buffer.add_string b
+          (Printf.sprintf "  [ %s] %-20s %s ms  (cell failed)\n" "\xe2\x80\x94"
+             n (dash 8)))
+      failures;
     Buffer.add_char b '\n'
   in
   dump "Figure 4 (top): key agreements ranked by log-scaled latency"
-    (Ranking.kem_ranking run_kems);
+    (Ranking.kem_ranking run_kems)
+    (lost kem_names kem_outcomes);
   dump "Figure 4 (bottom): signature algorithms ranked by log-scaled latency"
-    (Ranking.sig_ranking run_sigs);
+    (Ranking.sig_ranking run_sigs)
+    (lost sig_names sig_outcomes);
   Buffer.contents b
 
 (* ---- Section 5.5 ---------------------------------------------------------- *)
@@ -326,18 +381,25 @@ let attack ?seed ?exec () =
            else ""))
       rows
   in
-  let worst_a = Amplification.worst_amplification rows in
-  let worst_c = Amplification.worst_cpu_ratio rows in
-  buf_table "Section 5.5: attack-surface asymmetries"
-    (Printf.sprintf "%-16s %-18s %10s %13s" "KA" "SA" "CPU s/c" "amplification")
-    body
-  ^ Printf.sprintf
-      "worst amplification: %s x %s at %.1fx (QUIC limit: %.0fx)\n\
-       worst CPU skew: %s x %s at %.1fx\n"
-      worst_a.Amplification.kem worst_a.Amplification.sa
-      worst_a.Amplification.amplification Amplification.quic_limit
-      worst_c.Amplification.kem worst_c.Amplification.sa
-      worst_c.Amplification.cpu_ratio
+  let table =
+    buf_table "Section 5.5: attack-surface asymmetries"
+      (Printf.sprintf "%-16s %-18s %10s %13s" "KA" "SA" "CPU s/c"
+         "amplification")
+      body
+  in
+  match rows with
+  | [] -> table ^ "(no cells completed)\n"
+  | _ ->
+    let worst_a = Amplification.worst_amplification rows in
+    let worst_c = Amplification.worst_cpu_ratio rows in
+    table
+    ^ Printf.sprintf
+        "worst amplification: %s x %s at %.1fx (QUIC limit: %.0fx)\n\
+         worst CPU skew: %s x %s at %.1fx\n"
+        worst_a.Amplification.kem worst_a.Amplification.sa
+        worst_a.Amplification.amplification Amplification.quic_limit
+        worst_c.Amplification.kem worst_c.Amplification.sa
+        worst_c.Amplification.cpu_ratio
 
 (* ---- ablations ------------------------------------------------------------ *)
 
@@ -356,12 +418,17 @@ let ablation_buffer ?(seed = "ablation") ?(exec = Exec.sequential) () =
          limits)
     |> Array.of_list
   in
+  let cell r =
+    match r with
+    | Ok o -> Printf.sprintf "%12.2f" (total o)
+    | Error _ -> dash 12
+  in
   let rows =
     List.mapi
       (fun i limit ->
-        Printf.sprintf "%8d %12.2f %12.2f" limit
-          (total outcomes.(2 * i))
-          (total outcomes.((2 * i) + 1)))
+        Printf.sprintf "%8d %s %s" limit
+          (cell outcomes.(2 * i))
+          (cell outcomes.((2 * i) + 1)))
       limits
   in
   buf_table
@@ -397,7 +464,9 @@ let ablation_cwnd ?(seed = "ablation") ?(exec = Exec.sequential) () =
       (fun i (k, s) ->
         let cells =
           List.init nw (fun j ->
-              Printf.sprintf "%9.0f" (total outcomes.((i * nw) + j)))
+              match outcomes.((i * nw) + j) with
+              | Ok o -> Printf.sprintf "%9.0f" (total o)
+              | Error _ -> dash 9)
         in
         Printf.sprintf "%-12s %-12s %s" k s (String.concat " " cells))
       pairs
@@ -438,7 +507,9 @@ let ablation_hrr ?(seed = "ablation") ?(exec = Exec.sequential) () =
       (fun i (k, s) ->
         let cells =
           List.init per_pair (fun j ->
-              Printf.sprintf "%9.2f" (total outcomes.((i * per_pair) + j)))
+              match outcomes.((i * per_pair) + j) with
+              | Ok o -> Printf.sprintf "%9.2f" (total o)
+              | Error _ -> dash 9)
         in
         Printf.sprintf "%-15s %-16s %s" k s (String.concat " " cells))
       pairs

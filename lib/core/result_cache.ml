@@ -1,4 +1,6 @@
-(* Disk memoization of completed experiment cells.
+(* Disk memoization of completed experiment cells. Only successful
+   outcomes are stored (Exec never caches failures), so an entry's
+   presence means the cell genuinely finished under this binary.
 
    One file per cell under the cache directory, named by the SHA-256 of
    the cell's full parameter fingerprint plus a fingerprint of the

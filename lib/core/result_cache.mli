@@ -5,7 +5,11 @@
 
     Entries are written atomically (temp file + rename), so one cache
     directory can safely be shared by parallel domains and by separate
-    processes. Corrupt entries read as misses. *)
+    processes. Corrupt entries read as misses.
+
+    Only completed outcomes are ever stored: {!Exec} calls {!store}
+    exclusively on success, so a failed cell is re-executed — never
+    replayed — on the next run. *)
 
 type t
 

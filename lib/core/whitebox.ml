@@ -40,8 +40,10 @@ let row_of (level, kem_name, sa_name) o =
     client_libs = o.Experiment.client_ledger }
 
 let rows ?seed ?(exec = Exec.sequential) pairs =
-  let outcomes = Exec.cells exec (List.map (spec_of ?seed) pairs) in
-  List.map2 row_of pairs outcomes
+  let results = Exec.cells exec (List.map (spec_of ?seed) pairs) in
+  List.map2
+    (fun p r -> match r with Ok o -> Some (row_of p o) | Error _ -> None)
+    pairs results
 
 let measure ?seed pair = row_of pair (Experiment.run_spec (spec_of ?seed pair))
 

@@ -21,8 +21,12 @@ val paper_pairs : (int * string * string) list
 
 val measure : ?seed:string -> int * string * string -> row
 
-val rows : ?seed:string -> ?exec:Exec.t -> (int * string * string) list -> row list
-(** Measure the given pairs through [exec] (default sequential). *)
+val rows :
+  ?seed:string -> ?exec:Exec.t -> (int * string * string) list ->
+  row option list
+(** Measure the given pairs through [exec] (default sequential). The
+    result is aligned with the input: [None] marks a pair whose cell
+    failed (after retries), so renderers can still show the rest. *)
 
-val table : ?seed:string -> ?exec:Exec.t -> unit -> row list
+val table : ?seed:string -> ?exec:Exec.t -> unit -> row option list
 (** All of [paper_pairs]. *)

@@ -35,15 +35,11 @@ let path_for t src =
 let send t packet ~deliver =
   let path = path_for t packet.Packet.src in
   let now = Engine.now t.engine in
-  let serialization =
-    float_of_int (8 * Packet.wire_bytes packet) /. t.netem.rate_bps
-  in
-  (* FIFO queue: transmission starts when the path frees up *)
-  let start = Float.max now path.busy_until in
-  let tx_done = start +. serialization in
-  path.busy_until <- tx_done;
-  (* netem drops before the wire in our model; the tap (optical splitter)
-     sits after the emulation, so lost packets are never timestamped *)
+  (* netem drops before the wire in our model; a dropped packet never
+     reaches the interface queue, so it must not consume serialization
+     time or delay the packets behind it. The tap (optical splitter)
+     sits after the emulation, so lost packets are never timestamped
+     either. *)
   let loss_applies =
     match t.netem.loss_towards with
     | None -> true
@@ -54,6 +50,13 @@ let send t packet ~deliver =
   end
   else begin
     t.delivered <- t.delivered + 1;
+    let serialization =
+      float_of_int (8 * Packet.wire_bytes packet) /. t.netem.rate_bps
+    in
+    (* FIFO queue: transmission starts when the path frees up *)
+    let start = Float.max now path.busy_until in
+    let tx_done = start +. serialization in
+    path.busy_until <- tx_done;
     (* tc-netem jitter: uniform around the configured delay; crossing
        delays reorder packets, exactly as netem does without its
        reorder-correction option *)

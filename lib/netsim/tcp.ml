@@ -243,9 +243,7 @@ and update_rtt t now =
   match t.sample with
   | Some (end_seq, tx_time) when t.snd_una >= end_seq ->
     t.sample <- None;
-    let r = now -. tx_time in
-    ignore r;
-    rtt_sample t r
+    rtt_sample t (now -. tx_time)
   | _ -> ()
 
 and handle_ack t (p : Packet.t) =
@@ -284,8 +282,10 @@ and handle_ack t (p : Packet.t) =
     if t.snd_una = t.snd_nxt then cancel_rto t else arm_rto t;
     try_send t
   end
-  else if p.ack_seq = t.snd_una && t.snd_una < t.snd_nxt
-          && String.length p.payload = 0 then begin
+  (* any ACK that fails to advance snd_una while data is outstanding is
+     a duplicate — including ACKs piggybacked on data segments, which
+     Linux counts toward fast retransmit just the same *)
+  else if p.ack_seq = t.snd_una && t.snd_una < t.snd_nxt then begin
     t.dupacks <- t.dupacks + 1;
     if t.dupacks = 3 && not t.in_recovery then begin
       (* fast retransmit, NewReno style *)
@@ -359,9 +359,14 @@ and handle t (p : Packet.t) =
     if p.flags.syn then () (* duplicate SYN after establishment: ignore *)
     else begin
       if p.flags.fin then begin
-        (* acknowledge the FIN; we do not model TIME_WAIT *)
-        t.rcv_nxt <- t.rcv_nxt + String.length p.payload;
-        if String.length p.payload > 0 then t.on_data p.payload;
+        (* the FIN occupies one sequence slot, so advancing rcv_nxt past
+           it makes a retransmitted FIN recognisably stale (its seq is
+           now below rcv_nxt) and keeps its payload from being delivered
+           twice; we do not model TIME_WAIT *)
+        if p.seq = t.rcv_nxt then begin
+          if String.length p.payload > 0 then t.on_data p.payload;
+          t.rcv_nxt <- t.rcv_nxt + String.length p.payload + 1
+        end;
         send_ack t
       end
       else begin

@@ -93,6 +93,41 @@ let test_link_loss () =
   Alcotest.(check int) "loss accounting" (1100 - !got - !got_rev)
     (Netsim.Link.stats_lost link)
 
+let test_link_lost_packet_frees_wire () =
+  (* netem drops before the interface queue: a dropped packet must not
+     consume serialization time and delay the packet behind it. With
+     loss = 0.5 some seeds drop the first of two back-to-back packets;
+     in every such case the survivor must arrive at its own
+     serialization + delay (0.15 s), not queued behind the ghost
+     (0.25 s). *)
+  let netem =
+    { Netsim.Link.loss = 0.5; loss_towards = Some "b"; delay_s = 0.05;
+      jitter_s = 0.; rate_bps = 8000. }
+  in
+  let observed = ref 0 in
+  for i = 0 to 31 do
+    let e = Netsim.Engine.create () in
+    let rng = Crypto.Drbg.create ~seed:(Printf.sprintf "wire%d" i) in
+    let link = Netsim.Link.create e rng netem ~tap:(fun _ _ -> ()) in
+    let arrivals = ref [] in
+    let p = mk_packet ~src:"a" ~dst:"b" ~len:(100 - 66) () in
+    Netsim.Link.send link { p with Netsim.Packet.id = 1 } ~deliver:(fun q ->
+        arrivals := (q.Netsim.Packet.id, Netsim.Engine.now e) :: !arrivals);
+    Netsim.Link.send link { p with Netsim.Packet.id = 2 } ~deliver:(fun q ->
+        arrivals := (q.Netsim.Packet.id, Netsim.Engine.now e) :: !arrivals);
+    Netsim.Engine.run e;
+    match List.rev !arrivals with
+    | [ (2, t) ] ->
+      (* first dropped, second delivered: the interesting case *)
+      incr observed;
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "seed %d: survivor not queued behind the ghost" i)
+        0.15 t
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "the drop-then-deliver case occurred" true
+    (!observed > 0)
+
 let test_host_cpu () =
   let e = Netsim.Engine.create () in
   let h = Netsim.Host.create e ~name:"h" in
@@ -234,14 +269,64 @@ let test_tcp_marks () =
   | None -> Alcotest.fail "mark B not seen")
 
 let test_tcp_fin () =
-  let e, c, s, _ = tcp_setup "tcp-fin" in
+  let e, c, s, trace = tcp_setup "tcp-fin" in
   Netsim.Tcp.on_receive s (fun _ -> ());
   Netsim.Tcp.connect c ~on_established:(fun () ->
       Netsim.Tcp.write c "bye";
       Netsim.Tcp.close c);
   Netsim.Engine.run e;
   ignore s;
-  Alcotest.(check bool) "fin accounted" true (Netsim.Tcp.packets_sent c >= 3)
+  Alcotest.(check bool) "fin accounted" true (Netsim.Tcp.packets_sent c >= 3);
+  (* the FIN occupies one sequence slot: after 3 payload bytes the
+     server's final ACK must acknowledge seq 4, making a retransmitted
+     FIN distinguishable from new data *)
+  let server_acks =
+    List.filter
+      (fun en ->
+        en.Netsim.Trace.packet.Netsim.Packet.src = "server"
+        && Netsim.Packet.payload_len en.Netsim.Trace.packet = 0)
+      (Netsim.Trace.entries trace)
+  in
+  (match List.rev server_acks with
+  | last :: _ ->
+    Alcotest.(check int) "final ACK covers payload + FIN slot" 4
+      last.Netsim.Trace.packet.Netsim.Packet.ack_seq
+  | [] -> Alcotest.fail "server never ACKed")
+
+let test_tcp_bidirectional_loss () =
+  (* loss in both directions while both sides transmit: ACKs ride on
+     data segments, and those piggybacked duplicates must count toward
+     fast retransmit so recovery does not degenerate to RTO stalls;
+     every seed must deliver both streams intact within the budget *)
+  let netem =
+    { Netsim.Link.loss = 0.08; loss_towards = None; delay_s = 0.02;
+      jitter_s = 0.; rate_bps = 1e7 }
+  in
+  let c_data = String.init 50_000 (fun i -> Char.chr (i * 13 mod 256)) in
+  let s_data = String.init 50_000 (fun i -> Char.chr (i * 17 mod 256)) in
+  for i = 0 to 9 do
+    let e = Netsim.Engine.create () in
+    let rng = Crypto.Drbg.create ~seed:(Printf.sprintf "bidir%d" i) in
+    let link = Netsim.Link.create e rng netem ~tap:(fun _ _ -> ()) in
+    let client = Netsim.Host.create e ~name:"client" in
+    let server = Netsim.Host.create e ~name:"server" in
+    let c, s =
+      Netsim.Tcp.create_pair e link Netsim.Tcp.default_config ~client ~server
+    in
+    let got_c = Buffer.create 1024 and got_s = Buffer.create 1024 in
+    Netsim.Tcp.on_receive c (fun chunk -> Buffer.add_string got_c chunk);
+    Netsim.Tcp.on_receive s (fun chunk ->
+        if Buffer.length got_s = 0 then Netsim.Tcp.write s s_data;
+        Buffer.add_string got_s chunk);
+    Netsim.Tcp.connect c ~on_established:(fun () -> Netsim.Tcp.write c c_data);
+    Netsim.Engine.run e ~until:290.;
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d: client->server stream intact" i)
+      c_data (Buffer.contents got_s);
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d: server->client stream intact" i)
+      s_data (Buffer.contents got_c)
+  done
 
 let qc_tcp_random_writes =
   QCheck_alcotest.to_alcotest
@@ -353,6 +438,8 @@ let suites =
         qc_heap;
         Alcotest.test_case "link delay + rate" `Quick test_link_delay_and_rate;
         Alcotest.test_case "link loss" `Quick test_link_loss;
+        Alcotest.test_case "lost packet frees the wire" `Quick
+          test_link_lost_packet_frees_wire;
         Alcotest.test_case "host cpu serialization" `Quick test_host_cpu;
         Alcotest.test_case "tcp transfer" `Quick test_tcp_basic_transfer;
         Alcotest.test_case "tcp segmentation" `Quick test_tcp_mss_segmentation;
@@ -361,6 +448,8 @@ let suites =
         Alcotest.test_case "tcp segment-counted cwnd" `Quick test_tcp_cwnd_segment_counting;
         Alcotest.test_case "tcp marks" `Quick test_tcp_marks;
         Alcotest.test_case "tcp fin" `Quick test_tcp_fin;
+        Alcotest.test_case "tcp bidirectional loss" `Slow
+          test_tcp_bidirectional_loss;
         Alcotest.test_case "no recovery deadlock" `Slow test_no_recovery_deadlock;
         Alcotest.test_case "jitter reordering" `Quick test_jitter_reordering;
         Alcotest.test_case "pcap export" `Quick test_pcap_export;

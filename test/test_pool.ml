@@ -68,10 +68,19 @@ let subgrid seed =
 let marshal_bytes (outcomes : Experiment.outcome list) =
   Marshal.to_string outcomes []
 
+(* these grids are loss-free and must never fail a cell *)
+let oks results =
+  List.map
+    (function
+      | Ok o -> o
+      | Error (e : Exec.cell_error) ->
+        Alcotest.fail ("unexpected cell failure: " ^ e.Exec.ce_message))
+    results
+
 let test_parallel_bit_identical () =
   let specs = subgrid "pool-determinism" in
-  let seq = Exec.cells Exec.sequential specs in
-  let par = Exec.cells { Exec.sequential with Exec.jobs = 4 } specs in
+  let seq = oks (Exec.cells Exec.sequential specs) in
+  let par = oks (Exec.cells { Exec.sequential with Exec.jobs = 4 } specs) in
   Alcotest.(check bool)
     "3x3 grid byte-identical across jobs=1/jobs=4" true
     (String.equal (marshal_bytes seq) (marshal_bytes par))
@@ -98,14 +107,14 @@ let test_cache_roundtrip () =
   let dir = temp_cache_dir () in
   let specs = subgrid "pool-cache" in
   let first = Exec.create ~jobs:2 ~cache_dir:dir () in
-  let cold = Exec.cells first specs in
+  let cold = oks (Exec.cells first specs) in
   let c1 = Option.get first.Exec.cache in
   Alcotest.(check int) "cold run misses everything" (List.length specs)
     (Result_cache.misses c1);
   Alcotest.(check int) "cold run hits nothing" 0 (Result_cache.hits c1);
   (* a fresh context over the same directory: all cells reload *)
   let second = Exec.create ~jobs:2 ~cache_dir:dir () in
-  let warm = Exec.cells second specs in
+  let warm = oks (Exec.cells second specs) in
   let c2 = Option.get second.Exec.cache in
   Alcotest.(check int) "warm run executes zero cells" 0
     (Result_cache.misses c2);
