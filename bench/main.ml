@@ -5,9 +5,13 @@
      dune exec bench/main.exe table2a    -- one artifact
      dune exec bench/main.exe micro      -- microbenchmarks only
      dune exec bench/main.exe -- -j 8 table4a   -- shard cells over 8 domains
+     dune exec bench/main.exe -- --seed s2 table2a   -- reseed the campaign
 *)
 
-let seed = "bench"
+(* campaign seed, overridable with --seed; every target reads it through
+   this ref so one flag reseeds the whole run *)
+let seed_ref = ref "bench"
+let seed () = !seed_ref
 
 (* campaign execution context, set from the command line in [main] *)
 let exec = ref Core.Exec.sequential
@@ -102,28 +106,39 @@ let run_micro () =
 (* ---- table/figure targets ------------------------------------------------ *)
 
 let targets : (string * (unit -> unit)) list =
-  [ ("table2a", fun () -> print_string (Core.Report.table2a ~seed ~exec:!exec ()));
-    ("table2b", fun () -> print_string (Core.Report.table2b ~seed ~exec:!exec ()));
-    ("figure3", fun () -> print_string (Core.Report.figure3 ~seed ~exec:!exec ()));
-    ("table3", fun () -> print_string (Core.Report.table3 ~seed ~exec:!exec ()));
-    ("table4a", fun () -> print_string (Core.Report.table4a ~seed ~exec:!exec ()));
-    ("table4b", fun () -> print_string (Core.Report.table4b ~seed ~exec:!exec ()));
-    ("figure4", fun () -> print_string (Core.Report.figure4 ~seed ~exec:!exec ()));
-    ("attack", fun () -> print_string (Core.Report.attack ~seed ~exec:!exec ()));
+  [ ("table2a",
+     fun () -> print_string (Core.Report.table2a ~seed:(seed ()) ~exec:!exec ()));
+    ("table2b",
+     fun () -> print_string (Core.Report.table2b ~seed:(seed ()) ~exec:!exec ()));
+    ("figure3",
+     fun () -> print_string (Core.Report.figure3 ~seed:(seed ()) ~exec:!exec ()));
+    ("table3",
+     fun () -> print_string (Core.Report.table3 ~seed:(seed ()) ~exec:!exec ()));
+    ("table4a",
+     fun () -> print_string (Core.Report.table4a ~seed:(seed ()) ~exec:!exec ()));
+    ("table4b",
+     fun () -> print_string (Core.Report.table4b ~seed:(seed ()) ~exec:!exec ()));
+    ("figure4",
+     fun () -> print_string (Core.Report.figure4 ~seed:(seed ()) ~exec:!exec ()));
+    ("attack",
+     fun () -> print_string (Core.Report.attack ~seed:(seed ()) ~exec:!exec ()));
     ( "ablation",
       fun () ->
-        print_string (Core.Report.ablation_buffer ~seed ~exec:!exec ());
-        print_string (Core.Report.ablation_cwnd ~seed ~exec:!exec ());
-        print_string (Core.Report.ablation_hrr ~seed ~exec:!exec ()) );
+        print_string (Core.Report.ablation_buffer ~seed:(seed ()) ~exec:!exec ());
+        print_string (Core.Report.ablation_cwnd ~seed:(seed ()) ~exec:!exec ());
+        print_string (Core.Report.ablation_hrr ~seed:(seed ()) ~exec:!exec ()) );
     ("micro", run_micro) ]
 
 let () =
-  (* [-j N], [--cache DIR], [--retries N] and [-k|--keep-going] apply to
-     every campaign target; the remaining arguments name targets,
-     default all *)
+  (* [--seed S], [-j N], [--cache DIR], [--retries N] and
+     [-k|--keep-going] apply to every campaign target; the remaining
+     arguments name targets, default all *)
   let rec parse jobs cache retries keep_going = function
     | ("-j" | "--jobs") :: n :: rest ->
       parse (int_of_string_opt n) cache retries keep_going rest
+    | "--seed" :: s :: rest ->
+      seed_ref := s;
+      parse jobs cache retries keep_going rest
     | "--cache" :: dir :: rest -> parse jobs (Some dir) retries keep_going rest
     | "--retries" :: n :: rest ->
       parse jobs cache (int_of_string_opt n) keep_going rest

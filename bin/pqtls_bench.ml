@@ -3,6 +3,7 @@
      pqtls-bench list
      pqtls-bench run all-kem all-sig -o out/
      pqtls-bench handshake --kem kyber768 --sig dilithium3 --scenario lte-m
+     pqtls-bench trace kyber512 dilithium2 --format chrome -o trace.json
      pqtls-bench algorithms
 *)
 
@@ -77,9 +78,20 @@ let run_cmd =
     Arg.(value & flag & info [ "csv" ]
            ~doc:"Also emit latencies CSVs for all-kem / all-sig (needs -o).")
   in
-  let run seed jobs cache_dir quiet retries keep_going out_dir csv experiments =
+  let trace_out =
+    let doc =
+      "Record a virtual-time trace of every executed cell and write it \
+       as Chrome trace-event JSON to $(docv) (open in Perfetto or \
+       chrome://tracing). Cells served from the cache appear empty."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let run seed jobs cache_dir quiet retries keep_going out_dir csv trace_out
+      experiments =
+    let store = Option.map (fun _ -> Trace.Store.create ()) trace_out in
     let exec =
-      Core.Exec.create ~jobs ?cache_dir ~progress:(not quiet) ~retries ()
+      Core.Exec.create ~jobs ?cache_dir ~progress:(not quiet) ~retries
+        ?trace:store ()
     in
     List.iter
       (fun name ->
@@ -116,6 +128,15 @@ let run_cmd =
             | _ -> ()
           end)
       experiments;
+    (match (trace_out, store) with
+    | Some path, Some store ->
+      let oc = open_out path in
+      output_string oc (Trace.Export.chrome (Trace.Store.cells store));
+      close_out oc;
+      Printf.eprintf "wrote %s (%d cells, %d events)\n%!" path
+        (Trace.Store.length store)
+        (Trace.Store.total_events store)
+    | _ -> ());
     (* the health summary goes to stderr: stdout stays bit-identical
        across --jobs and runs *)
     let failed = Core.Exec.failed_count exec in
@@ -132,7 +153,7 @@ let run_cmd =
           rendered report; $(b,--keep-going) makes such runs exit 0.")
     Term.(
       const run $ seed_arg $ jobs_arg $ cache_arg $ quiet_arg $ retries_arg
-      $ keep_going_arg $ out_dir $ csv $ experiments)
+      $ keep_going_arg $ out_dir $ csv $ trace_out $ experiments)
 
 (* ---- handshake ------------------------------------------------------------ *)
 
@@ -212,12 +233,12 @@ let handshake_cmd =
     | Some path ->
       (* re-run a single handshake with a fresh tap and dump it *)
       let engine = Netsim.Engine.create () in
-      let trace = Netsim.Trace.create () in
+      let trace = Netsim.Tap.create () in
       let rng = Crypto.Drbg.create ~seed:(seed ^ "/pcap") in
       let link =
         Netsim.Link.create engine (Crypto.Drbg.fork rng "link")
           scenario.Core.Scenario.netem
-          ~tap:(fun t p -> Netsim.Trace.tap trace t p)
+          ~tap:(fun t p -> Netsim.Tap.tap trace t p)
       in
       let ch = Netsim.Host.create engine ~name:"client" in
       let sh = Netsim.Host.create engine ~name:"server" in
@@ -229,7 +250,7 @@ let handshake_cmd =
         ~client_host:ch ~server_host:sh ~config ~rng ~on_done:(fun _ -> ());
       Netsim.Engine.run engine;
       Netsim.Pcap.write_file path trace;
-      Printf.printf "wrote %s (%d packets)\n" path (Netsim.Trace.length trace)
+      Printf.printf "wrote %s (%d packets)\n" path (Netsim.Tap.length trace)
   in
   Cmd.v
     (Cmd.info "handshake"
@@ -237,6 +258,101 @@ let handshake_cmd =
     Term.(
       const run $ seed_arg $ kem_arg $ sig_arg $ scenario_arg $ real_arg
       $ default_buffering_arg $ pcap_arg)
+
+(* ---- trace ----------------------------------------------------------------- *)
+
+let trace_cmd =
+  let kem_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"KA"
+          ~doc:"Key agreement (paper spelling, e.g. p256_kyber512).")
+  in
+  let sig_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"SA"
+          ~doc:"Signature algorithm (e.g. rsa:2048, dilithium2).")
+  in
+  let scenario_arg =
+    Arg.(value & opt string "none" & info [ "scenario" ] ~docv:"SC"
+           ~doc:"Network scenario: none, loss, bandwidth, delay, lte-m, 5g.")
+  in
+  let format_arg =
+    let formats =
+      [ ("chrome", `Chrome); ("folded", `Folded); ("timeline", `Timeline);
+        ("table", `Table) ]
+    in
+    Arg.(
+      value
+      & opt (enum formats) `Chrome
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: $(b,chrome) (trace-event JSON for \
+             Perfetto/chrome://tracing), $(b,folded) (folded stacks for \
+             flamegraph.pl / speedscope), $(b,timeline) (plain-text \
+             chronological listing), or $(b,table) (trace-derived \
+             Table 3 CPU shares cross-checked against the white-box \
+             ledger).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the export to $(docv) instead of stdout.")
+  in
+  let max_samples_arg =
+    Arg.(value & opt (some int) None & info [ "max-samples" ] ~docv:"N"
+           ~doc:"Stop the cell after $(docv) handshake iterations.")
+  in
+  let run seed kem_name sig_name scenario_name format out max_samples =
+    let kem =
+      try Pqc.Registry.find_kem kem_name
+      with Not_found ->
+        Printf.eprintf "unknown KA %s\n" kem_name;
+        exit 1
+    in
+    let sig_alg =
+      try Pqc.Registry.find_sig sig_name
+      with Not_found ->
+        Printf.eprintf "unknown SA %s\n" sig_name;
+        exit 1
+    in
+    let scenario = Core.Scenario.find scenario_name in
+    let spec =
+      Core.Experiment.spec ~seed ~scenario ?max_samples kem sig_alg
+    in
+    let buf = Trace.Buf.create ~label:(Core.Experiment.spec_label spec) () in
+    let outcome = Core.Experiment.run_spec ~trace:buf spec in
+    let contents =
+      match format with
+      | `Chrome -> Trace.Export.chrome [ buf ]
+      | `Folded -> Trace.Export.folded [ buf ]
+      | `Timeline -> Trace.Export.timeline [ buf ]
+      | `Table ->
+        Core.Whitebox.render_trace_checks
+          ("Trace-derived CPU shares vs white-box ledger: "
+          ^ Core.Experiment.spec_label spec)
+          (Core.Whitebox.trace_checks outcome buf)
+    in
+    match out with
+    | None -> print_string contents
+    | Some path ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      Printf.eprintf "wrote %s (%d events)\n%!" path (Trace.Buf.length buf)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Trace one KA x SA cell in virtual time: handshake phases, \
+          per-message spans, per-operation crypto costs, TCP transmit / \
+          retransmit instants, cwnd counters and wire occupancy, \
+          exported for Perfetto, flamegraphs, or plain text.")
+    Term.(
+      const run $ seed_arg $ kem_arg $ sig_arg $ scenario_arg $ format_arg
+      $ out_arg $ max_samples_arg)
 
 (* ---- algorithms ------------------------------------------------------------ *)
 
@@ -266,4 +382,7 @@ let () =
     Cmd.info "pqtls-bench"
       ~doc:"Reproduction harness for `The Performance of Post-Quantum TLS 1.3'"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; handshake_cmd; algorithms_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; handshake_cmd; trace_cmd; algorithms_cmd ]))

@@ -12,11 +12,11 @@ let () =
   (* 1. a simulated testbed: client and server hosts on a 10 Gbit/s
      fiber, with a passive tap playing the paper's timestamper *)
   let engine = Netsim.Engine.create () in
-  let trace = Netsim.Trace.create () in
+  let trace = Netsim.Tap.create () in
   let rng = Crypto.Drbg.create ~seed:"quickstart" in
   let link =
     Netsim.Link.create engine (Crypto.Drbg.fork rng "link") Netsim.Link.ideal
-      ~tap:(fun time packet -> Netsim.Trace.tap trace time packet)
+      ~tap:(fun time packet -> Netsim.Tap.tap trace time packet)
   in
   let client = Netsim.Host.create engine ~name:"client" in
   let server = Netsim.Host.create engine ~name:"server" in
@@ -41,17 +41,17 @@ let () =
   (* 4. read the tap like the paper's black-box analysis does *)
   let r = Option.get !result in
   let at label =
-    (Option.get (Netsim.Trace.find_mark trace label)).Netsim.Trace.time
+    (Option.get (Netsim.Tap.find_mark trace label)).Netsim.Tap.time
   in
   Printf.printf "packets on the wire:\n";
   List.iter
     (fun e ->
-      let p = e.Netsim.Trace.packet in
+      let p = e.Netsim.Tap.packet in
       if Netsim.Packet.payload_len p > 0 || p.Netsim.Packet.flags.Netsim.Packet.syn
       then
-        Printf.printf "  %8.3f ms  %s\n" (e.Netsim.Trace.time *. 1000.)
+        Printf.printf "  %8.3f ms  %s\n" (e.Netsim.Tap.time *. 1000.)
           (Netsim.Packet.describe p))
-    (Netsim.Trace.entries trace);
+    (Netsim.Tap.entries trace);
   Printf.printf "\nphase 1 (CH -> SH):          %6.3f ms\n"
     ((at "SH" -. at "CH") *. 1000.);
   Printf.printf "phase 2 (SH -> Client Fin):  %6.3f ms\n"

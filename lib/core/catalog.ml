@@ -17,7 +17,7 @@ let level_report ?seed ?exec ~buffering level =
     (fun (k, s) ->
       Buffer.add_string b
         (Printf.sprintf "  %-15s %-15s measured %8s (cell failed)\n" k s
-           "\xe2\x80\x94"))
+           Tablefmt.em_dash))
     g.Deviation.failed;
   Buffer.contents b
 
@@ -37,7 +37,7 @@ let perf_report ?seed ?exec level =
             r.Whitebox.server_cpu_ms r.Whitebox.client_cpu_ms
         | None ->
           Printf.sprintf "  %-15s %-15s %4s hs/s (cell failed)\n" kem sa
-            "\xe2\x80\x94"))
+            Tablefmt.em_dash))
     rows
     (Whitebox.rows ?seed ?exec rows);
   Buffer.contents b
@@ -81,7 +81,7 @@ let all_sphincs_report ?seed ?(exec = Exec.sequential) () =
   List.iter
     (fun n ->
       Buffer.add_string b
-        (Printf.sprintf "  %-14s %9s ms   (cell failed)\n" n "\xe2\x80\x94"))
+        (Printf.sprintf "  %-14s %9s ms   (cell failed)\n" n Tablefmt.em_dash))
     failed;
   (match sorted with
   | (best, _, _) :: _ ->

@@ -33,6 +33,7 @@ type t = {
   retries : int;
   fail_cell : string option;
   counters : counters;
+  trace : Trace.Store.t option;
 }
 
 let default_jobs = Pool.default_jobs
@@ -45,9 +46,10 @@ let fresh_counters () =
 
 let sequential =
   { jobs = 1; cache = None; progress = false; retries = 1; fail_cell = None;
-    counters = fresh_counters () }
+    counters = fresh_counters (); trace = None }
 
-let create ?jobs ?cache_dir ?(progress = false) ?(retries = 1) ?fail_cell () =
+let create ?jobs ?cache_dir ?(progress = false) ?(retries = 1) ?fail_cell
+    ?trace () =
   Printexc.record_backtrace true;
   { jobs = (match jobs with Some j -> max 1 j | None -> default_jobs ());
     cache = Option.map (fun dir -> Result_cache.create ~dir) cache_dir;
@@ -57,7 +59,8 @@ let create ?jobs ?cache_dir ?(progress = false) ?(retries = 1) ?fail_cell () =
       (match fail_cell with
       | Some _ -> fail_cell
       | None -> Sys.getenv_opt "PQTLS_FAIL_CELL");
-    counters = fresh_counters () }
+    counters = fresh_counters ();
+    trace }
 
 let contains ~needle hay =
   let n = String.length needle and h = String.length hay in
@@ -75,15 +78,18 @@ let attempt_spec spec k =
       Experiment.sp_seed =
         Printf.sprintf "%s#retry%d" spec.Experiment.sp_seed k }
 
-let run_cell t spec =
+let run_cell ?trace t spec =
   let t0 = Unix.gettimeofday () in
   let rec attempt k =
+    (* a retried attempt restarts the cell from scratch, so its trace
+       does too — only the completing attempt's events survive *)
+    (match trace with Some b -> Trace.Buf.clear b | None -> ());
     match
       (match t.fail_cell with
       | Some needle when contains ~needle (Experiment.spec_label spec) ->
         failwith ("injected failure for " ^ Experiment.spec_label spec)
       | _ -> ());
-      Experiment.run_spec (attempt_spec spec k)
+      Experiment.run_spec ?trace (attempt_spec spec k)
     with
     | o ->
       Atomic.incr t.counters.c_ok;
@@ -104,9 +110,22 @@ let run_cell t spec =
   attempt 0
 
 let cells t specs =
-  let run spec =
+  (* one buffer per cell, allocated in spec order before the fan-out and
+     merged into the store in that same order afterwards, so the trace is
+     bit-identical whatever [jobs]. A cell served from the cache keeps
+     its (empty, labelled) buffer: cache hits execute nothing. *)
+  let bufs =
+    match t.trace with
+    | None -> List.map (fun _ -> None) specs
+    | Some _ ->
+      List.map
+        (fun sp ->
+          Some (Trace.Buf.create ~label:(Experiment.spec_label sp) ()))
+        specs
+  in
+  let run (spec, trace) =
     match t.cache with
-    | None -> (run_cell t spec, `Miss)
+    | None -> (run_cell ?trace t spec, `Miss)
     | Some c -> (
       let k = Result_cache.key c spec in
       match Result_cache.find c k with
@@ -114,7 +133,7 @@ let cells t specs =
         Atomic.incr t.counters.c_ok;
         (Ok o, `Hit)
       | None ->
-        let r = run_cell t spec in
+        let r = run_cell ?trace t spec in
         (* failures are never cached: the next run re-executes the cell
            instead of replaying the error *)
         (match r with Ok o -> Result_cache.store c k o | Error _ -> ());
@@ -124,7 +143,7 @@ let cells t specs =
     if not t.progress then None
     else
       Some
-        (fun ~index:_ ~completed ~total spec (r, status) elapsed ->
+        (fun ~index:_ ~completed ~total (spec, _) (r, status) elapsed ->
           let note =
             match (r, status) with
             | Ok _, `Hit -> "  (cached)"
@@ -140,7 +159,16 @@ let cells t specs =
             (Experiment.spec_label spec)
             elapsed note)
   in
-  List.map fst (Pool.map ~jobs:t.jobs ?on_done run specs)
+  let results =
+    Pool.map ~jobs:t.jobs ?on_done run (List.combine specs bufs)
+  in
+  (match t.trace with
+  | None -> ()
+  | Some store ->
+    List.iter
+      (function Some b -> Trace.Store.add store b | None -> ())
+      bufs);
+  List.map fst results
 
 let cell t spec =
   match cells t [ spec ] with

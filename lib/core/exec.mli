@@ -39,6 +39,11 @@ type t = {
           {!Experiment.spec_label} contains this substring raises on
           every attempt. Defaults from [PQTLS_FAIL_CELL]. *)
   counters : counters;
+  trace : Trace.Store.t option;
+      (** when set, every executed cell records its trace into a
+          per-cell buffer; buffers are merged into the store in spec
+          order after each {!cells} call, bit-identical whatever
+          [jobs]. Cache hits contribute empty labelled buffers. *)
 }
 
 val sequential : t
@@ -53,12 +58,14 @@ val create :
   ?progress:bool ->
   ?retries:int ->
   ?fail_cell:string ->
+  ?trace:Trace.Store.t ->
   unit ->
   t
 (** [jobs] defaults to {!default_jobs}; [cache_dir] opens (creating if
     needed) a {!Result_cache} there; [progress] defaults to [false];
     [retries] defaults to [1]; [fail_cell] defaults to the
-    [PQTLS_FAIL_CELL] environment variable (unset = no injection). *)
+    [PQTLS_FAIL_CELL] environment variable (unset = no injection);
+    [trace] collects per-cell traces (see the field doc). *)
 
 val cells : t -> Experiment.spec list -> cell_result list
 (** Evaluate a grid: each cell is served from the cache when possible,

@@ -28,9 +28,9 @@ type outcome = {
 let harness_python_ms = 0.45
 let harness_libc_ms = 0.12
 
-let mark_time ?after trace label =
-  match Netsim.Trace.find_mark trace ?after label with
-  | Some e -> e.Netsim.Trace.time
+let mark_time ?after tap label =
+  match Netsim.Tap.find_mark tap ?after label with
+  | Some e -> e.Netsim.Tap.time
   | None -> nan
 
 let normalize_ledger ledger =
@@ -99,7 +99,7 @@ let spec_fingerprint sp =
     tcp.Netsim.Tcp.init_cwnd_segments tcp.Netsim.Tcp.kernel_cost_ms_per_packet
     sp.sp_buffer_limit sp.sp_wrong_key_share
 
-let run_spec sp =
+let run_spec_traced sp =
   let { sp_buffering = buffering;
         sp_scenario = scenario;
         sp_duration_s = duration_s;
@@ -128,10 +128,10 @@ let run_spec sp =
            sig_alg.Pqc.Sigalg.name scenario.Scenario.name
            (buffering = Tls.Config.Optimized_push))
   in
-  let trace = Netsim.Trace.create () in
+  let tap = Netsim.Tap.create () in
   let link =
     Netsim.Link.create engine (Crypto.Drbg.fork root_rng "link")
-      scenario.Scenario.netem ~tap:(fun time p -> Netsim.Trace.tap trace time p)
+      scenario.Scenario.netem ~tap:(fun time p -> Netsim.Tap.tap tap time p)
   in
   let client_host = Netsim.Host.create engine ~name:"client" in
   let server_host = Netsim.Host.create engine ~name:"server" in
@@ -143,27 +143,34 @@ let run_spec sp =
   let count = ref 0 in
   let rec iteration () =
     if Netsim.Engine.now engine < duration_s && !count < max_samples then begin
-      Netsim.Trace.clear trace;
+      Netsim.Tap.clear tap;
       let started = Netsim.Engine.now engine in
       (* per-connection kernel setup (accept/socket) on the server *)
       Netsim.Host.charge_async server_host
+        ~op:Pqc.Costs.connection_setup.Pqc.Costs.label
         ~ms:Pqc.Costs.connection_setup.Pqc.Costs.ms ~lib:"kernel";
       let rng = Crypto.Drbg.fork root_rng (string_of_int !count) in
       Tls.Handshake.run ~engine ~link ~tcp_config ~client_host ~server_host
         ~config ~rng ~on_done:(fun r ->
           (* chained lookups: stale retransmissions from the previous
              connection may still be in flight when the trace restarts *)
-          let t_ch = mark_time trace "CH" in
-          let t_sh = mark_time trace ~after:t_ch "SH" in
-          let t_fin = mark_time trace ~after:t_sh "FIN_C" in
+          let t_ch = mark_time tap "CH" in
+          let t_sh = mark_time tap ~after:t_ch "SH" in
+          let t_fin = mark_time tap ~after:t_sh "FIN_C" in
           let finished = Netsim.Engine.now engine in
           (* measurement-loop overhead between iterations *)
-          Netsim.Host.charge_async client_host ~ms:harness_python_ms ~lib:"python";
-          Netsim.Host.charge_async server_host ~ms:harness_python_ms ~lib:"python";
-          Netsim.Host.charge_async client_host ~ms:harness_libc_ms ~lib:"libc";
-          Netsim.Host.charge_async server_host ~ms:harness_libc_ms ~lib:"libc";
-          Netsim.Host.charge_async client_host ~ms:0.06 ~lib:"ixgbe";
-          Netsim.Host.charge_async server_host ~ms:0.06 ~lib:"ixgbe";
+          Netsim.Host.charge_async client_host ~op:"harness python"
+            ~ms:harness_python_ms ~lib:"python";
+          Netsim.Host.charge_async server_host ~op:"harness python"
+            ~ms:harness_python_ms ~lib:"python";
+          Netsim.Host.charge_async client_host ~op:"harness libc"
+            ~ms:harness_libc_ms ~lib:"libc";
+          Netsim.Host.charge_async server_host ~op:"harness libc"
+            ~ms:harness_libc_ms ~lib:"libc";
+          Netsim.Host.charge_async client_host ~op:"nic driver" ~ms:0.06
+            ~lib:"ixgbe";
+          Netsim.Host.charge_async server_host ~op:"nic driver" ~ms:0.06
+            ~lib:"ixgbe";
           let gap = Pqc.Costs.harness_gap_ms /. 1000. in
           let sample =
             { part_a_ms = (t_sh -. t_ch) *. 1000.;
@@ -180,6 +187,24 @@ let run_spec sp =
           in
           samples := sample :: !samples;
           incr count;
+          (* tracing: one "handshake" span per host (iteration start to
+             that side's Finished) wrapping its message spans, and phase
+             spans on a dedicated track reproducing the tap-derived
+             part A / part B split of Figure 1 *)
+          (if Trace.Sink.enabled () then begin
+             let it = [ ("iteration", string_of_int !count) ] in
+             let span_if track cat name t0 t1 =
+               if not (Float.is_nan t0 || Float.is_nan t1) then
+                 Trace.Sink.span ~track ~cat ~name ~args:it t0 t1
+             in
+             span_if "client" "handshake" "handshake" started
+               r.Tls.Handshake.client_finished_at;
+             span_if "server" "handshake" "handshake" started
+               r.Tls.Handshake.server_finished_at;
+             span_if "phases" "phase" "handshake" t_ch t_fin;
+             span_if "phases" "phase" "partA CH->SH" t_ch t_sh;
+             span_if "phases" "phase" "partB SH->Fin" t_sh t_fin
+           end);
           Netsim.Tcp.close r.Tls.Handshake.client_tcp;
           Netsim.Tcp.close r.Tls.Handshake.server_tcp;
           Netsim.Engine.schedule engine ~delay:gap iteration)
@@ -213,6 +238,15 @@ let run_spec sp =
     server_cpu_ms = Netsim.Host.total_cpu_ms server_host /. n;
     client_ledger = normalize_ledger (Netsim.Host.ledger client_host);
     server_ledger = normalize_ledger (Netsim.Host.ledger server_host) }
+
+(* [trace] routes every event emitted while the cell runs (cpu spans,
+   TCP instants, wire occupancy, handshake phases) into [buf] via the
+   domain-local sink; [None] leaves the sink untouched, so tracing costs
+   one DLS read per emission site when disabled *)
+let run_spec ?trace sp =
+  match trace with
+  | None -> run_spec_traced sp
+  | Some buf -> Trace.Sink.run_with buf (fun () -> run_spec_traced sp)
 
 let run ?buffering ?scenario ?duration_s ?max_samples ?seed ?real_crypto
     ?tcp_config ?buffer_limit ?wrong_key_share kem sig_alg =

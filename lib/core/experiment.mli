@@ -69,9 +69,13 @@ val spec :
   spec
 (** Same defaults as {!run}. *)
 
-val run_spec : spec -> outcome
+val run_spec : ?trace:Trace.Buf.t -> spec -> outcome
 (** Execute one cell. Deterministic in the spec alone: two calls with
     equal specs return structurally identical outcomes, on any domain.
+    [?trace] collects every event the cell emits (crypto cpu spans, TCP
+    instants, wire occupancy, handshake/message/phase spans) into the
+    given buffer via the domain-local sink; the outcome itself is
+    unaffected, bit for bit.
     @raise Invalid_argument if not a single handshake completed within
     the duration (possible under heavy impairment, or with a sample /
     duration budget of zero) — the campaign layer ({!Exec}) turns this

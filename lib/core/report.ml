@@ -1,16 +1,7 @@
-let buf_table title header rows =
-  let b = Buffer.create 4096 in
-  Buffer.add_string b (title ^ "\n");
-  Buffer.add_string b (header ^ "\n");
-  Buffer.add_string b (String.make (String.length header) '-' ^ "\n");
-  List.iter (fun r -> Buffer.add_string b (r ^ "\n")) rows;
-  Buffer.contents b
-
-let fmt_paper v = if Float.is_nan v then "   -  " else Printf.sprintf "%6.2f" v
-
-(* a failed cell renders as an em dash, right-aligned in an [n]-column
-   field (the dash is 3 bytes of UTF-8 but displays as one character) *)
-let dash n = String.make (max 0 (n - 1)) ' ' ^ "\xe2\x80\x94"
+(* cell/table rendering shared with Catalog *)
+let buf_table = Tablefmt.buf_table
+let fmt_paper = Tablefmt.fmt_paper
+let dash = Tablefmt.dash
 
 let part_a o = Experiment.median_of (fun s -> s.Experiment.part_a_ms) o
 let part_b o = Experiment.median_of (fun s -> s.Experiment.part_b_ms) o
@@ -353,8 +344,8 @@ let figure4 ?(seed = "figure4") ?(exec = Exec.sequential) () =
     List.iter
       (fun n ->
         Buffer.add_string b
-          (Printf.sprintf "  [ %s] %-20s %s ms  (cell failed)\n" "\xe2\x80\x94"
-             n (dash 8)))
+          (Printf.sprintf "  [ %s] %-20s %s ms  (cell failed)\n"
+             Tablefmt.em_dash n (dash 8)))
       failures;
     Buffer.add_char b '\n'
   in

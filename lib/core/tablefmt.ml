@@ -1,0 +1,17 @@
+(* Shared plain-text table rendering, used by Report and Catalog so
+   every campaign output formats failed cells and sim/paper pairs the
+   same way. *)
+
+let em_dash = "\xe2\x80\x94"
+
+let dash n = String.make (max 0 (n - 1)) ' ' ^ em_dash
+
+let fmt_paper v = if Float.is_nan v then "   -  " else Printf.sprintf "%6.2f" v
+
+let buf_table title header rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (title ^ "\n");
+  Buffer.add_string b (header ^ "\n");
+  Buffer.add_string b (String.make (String.length header) '-' ^ "\n");
+  List.iter (fun r -> Buffer.add_string b (r ^ "\n")) rows;
+  Buffer.contents b

@@ -1,0 +1,17 @@
+(** Shared plain-text table rendering for campaign reports. *)
+
+val em_dash : string
+(** ["—"]: 3 bytes of UTF-8, one display column. *)
+
+val dash : int -> string
+(** [dash n] right-aligns an em dash in an [n]-column field — the
+    standard rendering of a failed cell. The result is [n + 2] bytes but
+    [n] display columns. *)
+
+val fmt_paper : float -> string
+(** Paper reference value in 6 columns; NaN (no published value)
+    renders as ["   -  "]. *)
+
+val buf_table : string -> string -> string list -> string
+(** [buf_table title header rows]: title line, header line, a dash rule
+    as wide as the header, then one line per row. *)

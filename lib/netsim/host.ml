@@ -7,25 +7,40 @@ type t = {
 
 let create engine ~name = { engine; name; cpu_free = 0.; ledger = Hashtbl.create 8 }
 let name t = t.name
+let now t = Engine.now t.engine
 
 let account t lib ms =
   let prev = Option.value ~default:0. (Hashtbl.find_opt t.ledger lib) in
   Hashtbl.replace t.ledger lib (prev +. ms)
 
-let charge t ~ms ~lib ~k =
+(* Every CPU charge emits one "cpu" span over exactly the interval the
+   core is occupied. The single-core model serializes charges through
+   [cpu_free], so cpu spans on one host track never overlap — the
+   exporters rely on this to build proper flame stacks — and summing
+   them per library reproduces the ledger to float rounding. *)
+let cpu_span t ~op ~lib start finish =
+  if Trace.Sink.enabled () then
+    Trace.Sink.span ~track:t.name ~cat:"cpu"
+      ~name:(if op = "" then lib else op)
+      ~args:[ ("lib", lib) ] start finish
+
+let charge ?(op = "") t ~ms ~lib ~k =
   let now = Engine.now t.engine in
   let start = Float.max now t.cpu_free in
   let finish = start +. (ms /. 1000.) in
   t.cpu_free <- finish;
   account t lib ms;
+  cpu_span t ~op ~lib start finish;
   Engine.schedule_at t.engine ~time:finish k
 
-let charge_async t ~ms ~lib =
+let charge_async ?(op = "") t ~ms ~lib =
   (* models interrupt-context work: accounted, and it delays the core *)
   let now = Engine.now t.engine in
   let start = Float.max now t.cpu_free in
-  t.cpu_free <- start +. (ms /. 1000.);
-  account t lib ms
+  let finish = start +. (ms /. 1000.) in
+  t.cpu_free <- finish;
+  account t lib ms;
+  cpu_span t ~op ~lib start finish
 
 let ledger t =
   Hashtbl.fold (fun lib ms acc -> (lib, ms) :: acc) t.ledger []

@@ -7,12 +7,17 @@ type t
 val create : Engine.t -> name:string -> t
 val name : t -> string
 
-val charge : t -> ms:float -> lib:string -> k:(unit -> unit) -> unit
+val now : t -> float
+(** The host's virtual clock (its engine's current time). *)
+
+val charge : ?op:string -> t -> ms:float -> lib:string -> k:(unit -> unit) -> unit
 (** [charge host ~ms ~lib ~k] occupies the CPU for [ms] virtual
     milliseconds (queueing behind any in-flight work) and then runs [k].
-    The time is attributed to [lib] in the ledger. *)
+    The time is attributed to [lib] in the ledger. When tracing is
+    enabled the occupied interval is emitted as a "cpu" span named [op]
+    (defaulting to the library name). *)
 
-val charge_async : t -> ms:float -> lib:string -> unit
+val charge_async : ?op:string -> t -> ms:float -> lib:string -> unit
 (** Account CPU time with no continuation (per-packet kernel work). *)
 
 val ledger : t -> (string * float) list

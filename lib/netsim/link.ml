@@ -46,7 +46,11 @@ let send t packet ~deliver =
     | Some host -> packet.Packet.dst = host
   in
   if loss_applies && Crypto.Drbg.float t.rng < t.netem.loss then begin
-    t.lost <- t.lost + 1
+    t.lost <- t.lost + 1;
+    if Trace.Sink.enabled () then
+      Trace.Sink.instant ~track:"net" ~cat:"net" ~name:"drop"
+        ~args:[ ("packet", Packet.describe packet) ]
+        now
   end
   else begin
     t.delivered <- t.delivered + 1;
@@ -65,6 +69,12 @@ let send t packet ~deliver =
       else t.netem.jitter_s *. ((2. *. Crypto.Drbg.float t.rng) -. 1.)
     in
     let arrival = tx_done +. Float.max 0. (t.netem.delay_s +. jitter) in
+    (* one wire-occupancy span per direction; the per-src FIFO means
+       these never overlap within a track *)
+    if Trace.Sink.enabled () then
+      Trace.Sink.span
+        ~track:("wire:" ^ packet.Packet.src)
+        ~cat:"net" ~name:(Packet.describe packet) start tx_done;
     Engine.schedule_at t.engine ~time:tx_done (fun () ->
         t.tap tx_done packet);
     Engine.schedule_at t.engine ~time:arrival (fun () -> deliver packet)

@@ -83,12 +83,12 @@ let of_entries entries =
   let buf = Buffer.create 65536 in
   Buffer.add_string buf global_header;
   List.iter
-    (fun (e : Trace.entry) ->
-      Buffer.add_string buf (record e.Trace.time e.Trace.packet))
+    (fun (e : Tap.entry) ->
+      Buffer.add_string buf (record e.Tap.time e.Tap.packet))
     entries;
   Buffer.contents buf
 
 let write_file path trace =
   let oc = open_out_bin path in
-  output_string oc (of_entries (Trace.entries trace));
+  output_string oc (of_entries (Tap.entries trace));
   close_out oc

@@ -5,11 +5,11 @@
     around each captured segment so the file opens in Wireshark/tcpdump
     with correct sequence numbers, flags and payloads. *)
 
-val of_entries : Trace.entry list -> string
+val of_entries : Tap.entry list -> string
 (** A complete pcap file (little-endian, LINKTYPE_ETHERNET, microsecond
     timestamps). *)
 
-val write_file : string -> Trace.t -> unit
+val write_file : string -> Tap.t -> unit
 (** [write_file path trace] dumps the capture to disk. *)
 
 val client_ip : string

@@ -71,6 +71,40 @@ let make engine link config host =
     pending_deliveries = 0; agg_timer = None; delack_timer = None;
     wire_bytes = 0; pkts = 0; rtx = 0; next_pkt_id = 0 }
 
+(* trace emission: counters for congestion-window / flight evolution and
+   instants for every retransmission and transmitted packet. All are
+   no-ops when tracing is disabled and never touch TCP state. *)
+let note_cwnd t =
+  Trace.Sink.counter ~track:(Host.name t.host) ~name:"cwnd"
+    (Engine.now t.engine) t.cwnd
+
+let note_flight t =
+  Trace.Sink.counter ~track:(Host.name t.host) ~name:"flight"
+    (Engine.now t.engine)
+    (float_of_int (List.length t.seg_ends))
+
+let note_retransmit t reason =
+  if Trace.Sink.enabled () then
+    Trace.Sink.instant ~track:(Host.name t.host) ~cat:"tcp" ~name:"retransmit"
+      ~args:[ ("reason", reason) ]
+      (Engine.now t.engine)
+
+let note_tx t ~flags ~payload ~seq ~ack_seq =
+  if Trace.Sink.enabled () then begin
+    let kind =
+      if flags.Packet.syn && flags.Packet.ack then "tx SYN-ACK"
+      else if flags.Packet.syn then "tx SYN"
+      else if flags.Packet.fin then "tx FIN"
+      else if String.length payload > 0 then "tx data"
+      else "tx ACK"
+    in
+    Trace.Sink.instant ~track:(Host.name t.host) ~cat:"tcp" ~name:kind
+      ~args:
+        [ ("seq", string_of_int seq); ("ack", string_of_int ack_seq);
+          ("len", string_of_int (String.length payload)) ]
+      (Engine.now t.engine)
+  end
+
 let rec deliver_to t packet =
   (* charge kernel receive cost, then process *)
   Host.charge_async t.host ~ms:t.config.kernel_cost_ms_per_packet ~lib:"kernel";
@@ -85,6 +119,7 @@ and emit t ~flags ?(payload = "") ?(marks = []) ~seq ~ack_seq () =
   t.next_pkt_id <- t.next_pkt_id + 1;
   t.wire_bytes <- t.wire_bytes + Packet.wire_bytes packet;
   t.pkts <- t.pkts + 1;
+  note_tx t ~flags ~payload ~seq ~ack_seq;
   Host.charge_async t.host ~ms:t.config.kernel_cost_ms_per_packet ~lib:"kernel";
   Link.send t.link packet ~deliver:(fun p -> deliver_to peer p)
 
@@ -168,6 +203,9 @@ and on_rto t =
     t.seg_ends <- [];
     t.snd_nxt <- t.snd_una;
     t.rtx <- t.rtx + 1;
+    note_retransmit t "rto";
+    note_cwnd t;
+    note_flight t;
     try_send t;
     arm_rto t
   end
@@ -179,6 +217,7 @@ and retransmit_first t =
   let len = min t.config.mss (buffer_end t - t.snd_una) in
   if len > 0 then begin
     t.rtx <- t.rtx + 1;
+    note_retransmit t "fast";
     let payload = Buffer.sub t.send_buf t.snd_una len in
     emit t ~flags:Packet.plain_flags ~payload
       ~marks:(segment_marks t t.snd_una (t.snd_una + len))
@@ -279,6 +318,8 @@ and handle_ack t (p : Packet.t) =
     end
     else if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. acked_segs
     else t.cwnd <- t.cwnd +. (acked_segs /. t.cwnd);
+    note_cwnd t;
+    note_flight t;
     if t.snd_una = t.snd_nxt then cancel_rto t else arm_rto t;
     try_send t
   end
@@ -291,6 +332,7 @@ and handle_ack t (p : Packet.t) =
       (* fast retransmit, NewReno style *)
       t.ssthresh <- Float.max (float_of_int (in_flight_segs t) /. 2.) 2.;
       t.cwnd <- t.ssthresh +. 3.;
+      note_cwnd t;
       t.recover <- t.snd_nxt;
       t.in_recovery <- true;
       t.sample <- None;
@@ -300,6 +342,7 @@ and handle_ack t (p : Packet.t) =
     else if t.in_recovery then begin
       (* inflate so new data can keep flowing during recovery *)
       t.cwnd <- t.cwnd +. 1.;
+      note_cwnd t;
       try_send t
     end
   end
@@ -339,10 +382,12 @@ and handle t (p : Packet.t) =
   | Syn_received when p.flags.syn && not p.flags.ack ->
     (* our SYN-ACK was lost and the client retransmitted its SYN *)
     t.rtx <- t.rtx + 1;
+    note_retransmit t "synack";
     t.syn_sent_at <- nan;
     emit t ~flags:Packet.synack_flags ~seq:0 ~ack_seq:0 ()
   | Syn_sent when p.flags.syn && p.flags.ack ->
     t.state <- Established;
+    note_cwnd t;
     if not (Float.is_nan t.syn_sent_at) then
       rtt_sample t (Engine.now t.engine -. t.syn_sent_at);
     send_ack t;
@@ -350,6 +395,7 @@ and handle t (p : Packet.t) =
     try_send t
   | Syn_received when p.flags.ack && not p.flags.syn ->
     t.state <- Established;
+    note_cwnd t;
     if not (Float.is_nan t.syn_sent_at) then
       rtt_sample t (Engine.now t.engine -. t.syn_sent_at);
     handle_ack t p;
@@ -387,7 +433,10 @@ let create_pair engine link config ~client ~server =
 
 let rec send_syn t attempt =
   if t.state = Syn_sent then begin
-    if attempt > 0 then t.rtx <- t.rtx + 1;
+    if attempt > 0 then begin
+      t.rtx <- t.rtx + 1;
+      note_retransmit t "syn"
+    end;
     (* Karn: a retransmitted SYN invalidates the handshake RTT sample *)
     t.syn_sent_at <- (if attempt = 0 then Engine.now t.engine else nan);
     emit t ~flags:Packet.syn_flags ~seq:0 ~ack_seq:0 ();
@@ -407,6 +456,13 @@ let on_receive t f = t.on_data <- f
 
 let write t ?(marks = []) data =
   let base = Buffer.length t.send_buf in
+  if Trace.Sink.enabled () then
+    List.iter
+      (fun (_, label) ->
+        Trace.Sink.instant ~track:(Host.name t.host) ~cat:"tls"
+          ~name:("send " ^ label)
+          (Engine.now t.engine))
+      marks;
   Buffer.add_string t.send_buf data;
   t.out_marks <-
     t.out_marks @ List.map (fun (off, label) -> (base + off, label)) marks;

@@ -8,15 +8,15 @@ let lib_name = function
   | Ixgbe -> "ixgbe"
   | Python -> "python"
 
-type op = { ms : float; lib : lib }
+type op = { ms : float; lib : lib; label : string }
 
 type kem_costs = { kem_keygen : op; kem_encaps : op; kem_decaps : op }
 type sig_costs = { sign : op; verify : op; ch_overhead : float }
 (* ch_overhead: extra server-side ClientHello processing observed for the
    OQS-provider signature algorithms (Table 2b's partA spread) *)
 
-let crypto ms = { ms; lib = Libcrypto }
-let ssl ms = { ms; lib = Libssl }
+let crypto ms = { ms; lib = Libcrypto; label = "" }
+let ssl ms = { ms; lib = Libssl; label = "" }
 
 (* Diffie-Hellman wrapped as a KEM. OpenSSL key generation uses fixed-base
    (precomputed-table) scalar multiplication and is several times cheaper
@@ -97,7 +97,8 @@ let base_sigs =
 let add_op a b =
   { ms = a.ms +. b.ms;
     (* a hybrid's attribution follows the costlier component *)
-    lib = (if a.ms >= b.ms then a.lib else b.lib) }
+    lib = (if a.ms >= b.ms then a.lib else b.lib);
+    label = "" }
 
 (* hybrid names split on '_', but algorithm names themselves may contain
    '_' (dilithium2_aes), so try whole-name lookup first. *)
@@ -123,30 +124,44 @@ let rec lookup table combine name =
       | None -> raise Not_found
       | Some l -> combine l (lookup table combine right)))
 
+(* trace span names ("keygen kyber512", "sign dilithium2", ...) are
+   stamped on the final lookup result, so hybrids carry the full name *)
+let relabel label op = { op with label }
+
 let kem name =
-  lookup base_kems
-    (fun a b ->
-      { kem_keygen = add_op a.kem_keygen b.kem_keygen;
-        kem_encaps = add_op a.kem_encaps b.kem_encaps;
-        kem_decaps = add_op a.kem_decaps b.kem_decaps })
-    name
+  let c =
+    lookup base_kems
+      (fun a b ->
+        { kem_keygen = add_op a.kem_keygen b.kem_keygen;
+          kem_encaps = add_op a.kem_encaps b.kem_encaps;
+          kem_decaps = add_op a.kem_decaps b.kem_decaps })
+      name
+  in
+  { kem_keygen = relabel ("keygen " ^ name) c.kem_keygen;
+    kem_encaps = relabel ("encaps " ^ name) c.kem_encaps;
+    kem_decaps = relabel ("decaps " ^ name) c.kem_decaps }
 
 let sig_ name =
-  lookup base_sigs
-    (fun a b ->
-      { sign = add_op a.sign b.sign;
-        verify = add_op a.verify b.verify;
-        ch_overhead = a.ch_overhead +. b.ch_overhead })
-    name
+  let c =
+    lookup base_sigs
+      (fun a b ->
+        { sign = add_op a.sign b.sign;
+          verify = add_op a.verify b.verify;
+          ch_overhead = a.ch_overhead +. b.ch_overhead })
+      name
+  in
+  { c with
+    sign = relabel ("sign " ^ name) c.sign;
+    verify = relabel ("verify " ^ name) c.verify }
 
 (* protocol overheads: fitted so the x25519 x rsa:2048 baseline reproduces
    partA = 0.25 ms, partB = 1.48 ms and 22.3 k handshakes / 60 s *)
-let parse_client_hello = ssl 0.03
-let build_server_flight = ssl 0.03
-let parse_server_flight = ssl 0.05
-let build_client_finished = ssl 0.035
-let key_schedule_derive = crypto 0.012
-let aead_per_kilobyte = crypto 0.004
-let kernel_per_packet = { ms = 0.009; lib = Kernel }
-let connection_setup = { ms = 0.05; lib = Kernel }
+let parse_client_hello = relabel "parse ClientHello" (ssl 0.03)
+let build_server_flight = relabel "build server flight" (ssl 0.03)
+let parse_server_flight = relabel "parse server flight" (ssl 0.05)
+let build_client_finished = relabel "build client flight" (ssl 0.035)
+let key_schedule_derive = relabel "key schedule" (crypto 0.012)
+let aead_per_kilobyte = relabel "aead" (crypto 0.004)
+let kernel_per_packet = { ms = 0.009; lib = Kernel; label = "kernel packet" }
+let connection_setup = { ms = 0.05; lib = Kernel; label = "connection setup" }
 let harness_gap_ms = 0.85

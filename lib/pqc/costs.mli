@@ -14,7 +14,13 @@ type lib = Libcrypto | Libssl | Kernel | Libc | Ixgbe | Python
 
 val lib_name : lib -> string
 
-type op = { ms : float; lib : lib }
+type op = {
+  ms : float;
+  lib : lib;
+  label : string;
+      (** trace span name ("keygen kyber512", "parse ClientHello", ...);
+          [""] means "use the library name" *)
+}
 
 type kem_costs = { kem_keygen : op; kem_encaps : op; kem_decaps : op }
 type sig_costs = {

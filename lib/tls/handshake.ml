@@ -9,11 +9,11 @@ type result = {
 }
 
 let charge host (op : Pqc.Costs.op) k =
-  Netsim.Host.charge host ~ms:op.Pqc.Costs.ms
+  Netsim.Host.charge host ~op:op.Pqc.Costs.label ~ms:op.Pqc.Costs.ms
     ~lib:(Pqc.Costs.lib_name op.Pqc.Costs.lib) ~k
 
 let charge_n host (op : Pqc.Costs.op) n k =
-  Netsim.Host.charge host
+  Netsim.Host.charge host ~op:op.Pqc.Costs.label
     ~ms:(op.Pqc.Costs.ms *. float_of_int n)
     ~lib:(Pqc.Costs.lib_name op.Pqc.Costs.lib) ~k
 
@@ -66,10 +66,24 @@ and step p =
     | Codec.Inbound.Change_cipher_spec -> step p
     | Codec.Inbound.Handshake_message msg ->
       p.busy <- true;
+      (* a "message" span covers the whole dispatch of one inbound
+         handshake message, CPU charges included: it opens here and the
+         matching [finish_step] closes it (the state machines are CPS,
+         so dispatch completion is exactly the finish_step call) *)
+      if Trace.Sink.enabled () then
+        Trace.Sink.begin_span
+          ~track:(Netsim.Host.name p.host)
+          ~cat:"message"
+          ~name:(Wire.Handshake_type.label (M.handshake_type msg))
+          (Netsim.Host.now p.host);
       p.dispatch p msg
   end
 
 let finish_step p =
+  if Trace.Sink.enabled () then
+    Trace.Sink.end_span
+      ~track:(Netsim.Host.name p.host)
+      (Netsim.Host.now p.host);
   p.busy <- false;
   step p
 

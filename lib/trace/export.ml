@@ -1,0 +1,261 @@
+(* Exporters. All three are pure functions of the buffer list, so a
+   campaign traced under any job count exports byte-identically. *)
+
+let us t = t *. 1e6 (* virtual seconds -> microseconds *)
+
+(* ---- Chrome trace-event JSON (catapult format, Perfetto-loadable) ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_args args =
+  String.concat ","
+    (List.map
+       (fun (k, v) ->
+         Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+       args)
+
+let chrome bufs =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let emit line =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b "\n";
+    Buffer.add_string b line
+  in
+  List.iteri
+    (fun i buf ->
+      let pid = i + 1 in
+      let cell =
+        match Buf.label buf with "" -> Printf.sprintf "cell %d" pid | l -> l
+      in
+      emit
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+           pid (json_escape cell));
+      (* thread ids in order of first appearance, with name metadata *)
+      let tracks = Hashtbl.create 8 in
+      let next_tid = ref 0 in
+      let tid track =
+        match Hashtbl.find_opt tracks track with
+        | Some id -> id
+        | None ->
+          incr next_tid;
+          let id = !next_tid in
+          Hashtbl.add tracks track id;
+          emit
+            (Printf.sprintf
+               "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+               pid id (json_escape track));
+          id
+      in
+      Buf.iter buf (fun ev ->
+          match ev with
+          | Event.Span s ->
+            let id = tid s.Event.s_track in
+            emit
+              (Printf.sprintf
+                 "{\"ph\":\"X\",\"name\":\"%s\",\"cat\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{%s}}"
+                 (json_escape s.Event.s_name) (json_escape s.Event.s_cat) pid
+                 id (us s.Event.s_begin)
+                 (us (s.Event.s_end -. s.Event.s_begin))
+                 (json_args s.Event.s_args))
+          | Event.Instant ins ->
+            let id = tid ins.Event.i_track in
+            emit
+              (Printf.sprintf
+                 "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"%s\",\"cat\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"args\":{%s}}"
+                 (json_escape ins.Event.i_name) (json_escape ins.Event.i_cat)
+                 pid id (us ins.Event.i_ts)
+                 (json_args ins.Event.i_args))
+          | Event.Counter c ->
+            let id = tid c.Event.c_track in
+            emit
+              (Printf.sprintf
+                 "{\"ph\":\"C\",\"name\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"args\":{\"value\":%g}}"
+                 (json_escape c.Event.c_name) pid id (us c.Event.c_ts)
+                 c.Event.c_value)))
+    bufs;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+(* ---- folded stacks (flamegraph.pl / inferno input) ------------------- *)
+
+(* Per track: sort spans by (begin asc, end desc, emission order), walk
+   with an explicit stack using interval containment, and attribute each
+   frame its self time (duration minus children). *)
+
+type frame = {
+  fr_path : string;
+  fr_end : float;
+  mutable fr_children_s : float;
+  fr_dur : float;
+}
+
+let folded bufs =
+  let tally : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let credit path seconds =
+    (match Hashtbl.find_opt tally path with
+    | None -> order := path :: !order
+    | Some _ -> ());
+    let prev = Option.value ~default:0. (Hashtbl.find_opt tally path) in
+    Hashtbl.replace tally path (prev +. seconds)
+  in
+  List.iter
+    (fun buf ->
+      let root = match Buf.label buf with "" -> "trace" | l -> l in
+      (* gather spans per track, remembering emission order for stability *)
+      let by_track : (string, (int * Event.span) list ref) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      let track_order = ref [] in
+      let idx = ref 0 in
+      Buf.iter buf (fun ev ->
+          (match ev with
+          | Event.Span s ->
+            let slot =
+              match Hashtbl.find_opt by_track s.Event.s_track with
+              | Some r -> r
+              | None ->
+                let r = ref [] in
+                Hashtbl.add by_track s.Event.s_track r;
+                track_order := s.Event.s_track :: !track_order;
+                r
+            in
+            slot := (!idx, s) :: !slot
+          | _ -> ());
+          incr idx);
+      List.iter
+        (fun track ->
+          let spans =
+            List.sort
+              (fun (ia, (a : Event.span)) (ib, b) ->
+                match Float.compare a.Event.s_begin b.Event.s_begin with
+                | 0 -> (
+                  match Float.compare b.Event.s_end a.Event.s_end with
+                  (* identical intervals: inner spans are emitted first
+                     (a cpu span completes before its message span is
+                     closed), so the later emission is the outer one *)
+                  | 0 -> compare ib ia
+                  | c -> c)
+                | c -> c)
+              !(Hashtbl.find by_track track)
+          in
+          let stack = ref [] in
+          let close (f : frame) =
+            credit f.fr_path (Float.max 0. (f.fr_dur -. f.fr_children_s));
+            match !stack with
+            | parent :: _ -> parent.fr_children_s <- parent.fr_children_s +. f.fr_dur
+            | [] -> ()
+          in
+          (* a frame can only be an ancestor if it fully contains the
+             incoming span; pop frames that ended already and frames
+             that merely overlap it (async kernel charges straddle
+             message boundaries) *)
+          let rec pop_until (s : Event.span) =
+            match !stack with
+            | top :: rest
+              when top.fr_end <= s.Event.s_begin
+                   || top.fr_end < s.Event.s_end ->
+              stack := rest;
+              close top;
+              pop_until s
+            | _ -> ()
+          in
+          List.iter
+            (fun (_, (s : Event.span)) ->
+              pop_until s;
+              let parent_path =
+                match !stack with
+                | top :: _ -> top.fr_path
+                | [] -> root ^ ";" ^ track
+              in
+              let f =
+                { fr_path = parent_path ^ ";" ^ s.Event.s_name;
+                  fr_end = s.Event.s_end;
+                  fr_children_s = 0.;
+                  fr_dur = Float.max 0. (s.Event.s_end -. s.Event.s_begin) }
+              in
+              stack := f :: !stack)
+            spans;
+          (* drain whatever is still open at end of track *)
+          let rec drain () =
+            match !stack with
+            | top :: rest ->
+              stack := rest;
+              close top;
+              drain ()
+            | [] -> ()
+          in
+          drain ())
+        (List.rev !track_order))
+    bufs;
+  let lines =
+    List.filter_map
+      (fun path ->
+        let s = Hashtbl.find tally path in
+        let usecs = int_of_float (Float.round (us s)) in
+        if usecs > 0 then Some (Printf.sprintf "%s %d" path usecs) else None)
+      (List.rev !order)
+  in
+  String.concat "" (List.map (fun l -> l ^ "\n") (List.sort compare lines))
+
+(* ---- plain-text timeline --------------------------------------------- *)
+
+let timeline bufs =
+  let b = Buffer.create 65536 in
+  List.iter
+    (fun buf ->
+      Buffer.add_string b
+        (Printf.sprintf "=== %s (%d events) ===\n"
+           (match Buf.label buf with "" -> "trace" | l -> l)
+           (Buf.length buf));
+      let events =
+        List.stable_sort
+          (fun a b -> Float.compare (Event.time a) (Event.time b))
+          (Buf.events buf)
+      in
+      let fmt_args = function
+        | [] -> ""
+        | args ->
+          "  ["
+          ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) args)
+          ^ "]"
+      in
+      List.iter
+        (fun ev ->
+          match ev with
+          | Event.Span s ->
+            Buffer.add_string b
+              (Printf.sprintf "%12.6f  %-8s %-9s %-28s %9.3f ms%s\n"
+                 s.Event.s_begin s.Event.s_track s.Event.s_cat s.Event.s_name
+                 ((s.Event.s_end -. s.Event.s_begin) *. 1000.)
+                 (fmt_args s.Event.s_args))
+          | Event.Instant i ->
+            Buffer.add_string b
+              (Printf.sprintf "%12.6f  %-8s %-9s %-28s%s\n" i.Event.i_ts
+                 i.Event.i_track i.Event.i_cat i.Event.i_name
+                 (fmt_args i.Event.i_args))
+          | Event.Counter c ->
+            Buffer.add_string b
+              (Printf.sprintf "%12.6f  %-8s %-9s %-28s = %g\n" c.Event.c_ts
+                 c.Event.c_track "counter" c.Event.c_name c.Event.c_value))
+        events;
+      Buffer.add_char b '\n')
+    bufs;
+  Buffer.contents b

@@ -1,0 +1,18 @@
+(** Trace exporters. Each is a pure function of the buffers, so output
+    is byte-identical for any [--jobs] as long as buffers arrive in spec
+    order (which {!Store} guarantees). *)
+
+val chrome : Buf.t list -> string
+(** Chrome trace-event JSON (the catapult format): one process per cell
+    (named with the cell label), one thread per track, "X" complete
+    events for spans, "i" instants, "C" counters, timestamps in
+    microseconds of virtual time. Loads in Perfetto / chrome://tracing. *)
+
+val folded : Buf.t list -> string
+(** Folded stacks ("path;to;frame <self-us>" per line, sorted) for
+    flamegraph.pl / inferno / speedscope. Nesting is recovered from span
+    containment per track; values are self time in integer microseconds
+    (zero-self frames are omitted). *)
+
+val timeline : Buf.t list -> string
+(** Human-readable chronological listing, one line per event. *)

@@ -1,0 +1,45 @@
+(* The per-domain current buffer. Instrumentation sites throughout
+   netsim/tls/core emit through these functions; when no buffer is
+   installed on the calling domain every emitter is a cheap None check,
+   so campaigns without tracing stay bit-identical and essentially free.
+
+   Domain-locality is what makes this safe without locks: Core.Pool runs
+   each cell entirely on one domain, and Exec installs that cell's
+   buffer for exactly the duration of the cell. *)
+
+let key : Buf.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current () = !(Domain.DLS.get key)
+let enabled () = current () <> None
+
+let run_with buf f =
+  let slot = Domain.DLS.get key in
+  let saved = !slot in
+  slot := Some buf;
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+let span ~track ~cat ~name ?args t0 t1 =
+  match current () with
+  | None -> ()
+  | Some b -> Buf.span b ~track ~cat ~name ?args t0 t1
+
+let begin_span ~track ~cat ~name ?args ts =
+  match current () with
+  | None -> ()
+  | Some b -> Buf.begin_span b ~track ~cat ~name ?args ts
+
+let end_span ~track ts =
+  match current () with
+  | None -> ()
+  | Some b -> Buf.end_span b ~track ts
+
+let instant ~track ~cat ~name ?args ts =
+  match current () with
+  | None -> ()
+  | Some b -> Buf.instant b ~track ~cat ~name ?args ts
+
+let counter ~track ~name ts value =
+  match current () with
+  | None -> ()
+  | Some b -> Buf.counter b ~track ~name ts value

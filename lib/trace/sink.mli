@@ -1,0 +1,33 @@
+(** The null-by-default tracing sink.
+
+    Each domain carries at most one installed {!Buf.t}; every emitter
+    below is a no-op when none is installed, which is the "zero cost
+    when disabled" guarantee (asserted by the test suite: campaign
+    outputs are bit-identical with and without tracing). *)
+
+val enabled : unit -> bool
+(** True while a buffer is installed on the calling domain — use to
+    skip argument construction at hot instrumentation sites. *)
+
+val current : unit -> Buf.t option
+
+val run_with : Buf.t -> (unit -> 'a) -> 'a
+(** [run_with buf f] installs [buf] on the calling domain for the
+    duration of [f] (restoring the previous sink on exit, even on
+    raise). *)
+
+val span :
+  track:string -> cat:string -> name:string -> ?args:Event.args ->
+  float -> float -> unit
+
+val begin_span :
+  track:string -> cat:string -> name:string -> ?args:Event.args ->
+  float -> unit
+
+val end_span : track:string -> float -> unit
+
+val instant :
+  track:string -> cat:string -> name:string -> ?args:Event.args ->
+  float -> unit
+
+val counter : track:string -> name:string -> float -> float -> unit

@@ -1,0 +1,16 @@
+(* The campaign-level trace: one buffer per cell, appended by the
+   coordinating domain only (Exec adds buffers after the pool joins),
+   in spec order — so a traced campaign exports identically whatever
+   [--jobs] was. *)
+
+type t = { mutable rev_cells : Buf.t list; mutable count : int }
+
+let create () = { rev_cells = []; count = 0 }
+
+let add t buf =
+  t.rev_cells <- buf :: t.rev_cells;
+  t.count <- t.count + 1
+
+let cells t = List.rev t.rev_cells
+let length t = t.count
+let total_events t = List.fold_left (fun acc b -> acc + Buf.length b) 0 (cells t)

@@ -1,0 +1,16 @@
+(** Ordered collection of per-cell buffers for a whole campaign.
+    Mutated only by the coordinating domain; worker domains write into
+    their own cell's {!Buf.t} via {!Sink}. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Buf.t -> unit
+(** Append a cell buffer (call in spec order for deterministic export). *)
+
+val cells : t -> Buf.t list
+(** In insertion order. *)
+
+val length : t -> int
+val total_events : t -> int

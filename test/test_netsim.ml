@@ -152,9 +152,9 @@ let test_host_cpu () =
 let tcp_setup ?(netem = Netsim.Link.ideal) ?(config = Netsim.Tcp.default_config) seed =
   let e = Netsim.Engine.create () in
   let rng = Crypto.Drbg.create ~seed in
-  let trace = Netsim.Trace.create () in
+  let trace = Netsim.Tap.create () in
   let link =
-    Netsim.Link.create e rng netem ~tap:(fun t p -> Netsim.Trace.tap trace t p)
+    Netsim.Link.create e rng netem ~tap:(fun t p -> Netsim.Tap.tap trace t p)
   in
   let client = Netsim.Host.create e ~name:"client" in
   let server = Netsim.Host.create e ~name:"server" in
@@ -182,14 +182,14 @@ let test_tcp_mss_segmentation () =
   let data_pkts =
     List.filter
       (fun e ->
-        e.Netsim.Trace.packet.Netsim.Packet.src = "client"
-        && Netsim.Packet.payload_len e.Netsim.Trace.packet > 0)
-      (Netsim.Trace.entries trace)
+        e.Netsim.Tap.packet.Netsim.Packet.src = "client"
+        && Netsim.Packet.payload_len e.Netsim.Tap.packet > 0)
+      (Netsim.Tap.entries trace)
   in
   Alcotest.(check int) "4 segments for 5000 B at MSS 1448" 4 (List.length data_pkts);
   List.iteri
     (fun i e ->
-      let len = Netsim.Packet.payload_len e.Netsim.Trace.packet in
+      let len = Netsim.Packet.payload_len e.Netsim.Tap.packet in
       if i < 3 then Alcotest.(check int) "full MSS" 1448 len
       else Alcotest.(check int) "tail" (5000 - (3 * 1448)) len)
     data_pkts;
@@ -207,6 +207,58 @@ let test_tcp_loss_recovery () =
   Alcotest.(check bool) "retransmissions happened" true
     (Netsim.Tcp.retransmissions c > 0)
 
+let test_tcp_trace_counters () =
+  (* under 10 % loss the trace must carry one retransmit instant per
+     recorded retransmission and a cwnd counter that climbs past the
+     initial window, then collapses below it on loss *)
+  let netem =
+    { Netsim.Link.loss = 0.10; loss_towards = Some "server"; delay_s = 0.005;
+      jitter_s = 0.; rate_bps = 1e8 }
+  in
+  let data = String.init 150_000 (fun i -> Char.chr (i * 11 mod 256)) in
+  let buf = Trace.Buf.create ~label:"lossy" () in
+  let got, c, s, _, _ =
+    Trace.Sink.run_with buf (fun () -> transfer ~netem ~data "tcp-trace-loss")
+  in
+  Alcotest.(check string) "delivery intact under tracing" data got;
+  let events = Trace.Buf.events buf in
+  let retransmit_instants =
+    List.length
+      (List.filter
+         (function
+           | Trace.Event.Instant i -> i.Trace.Event.i_name = "retransmit"
+           | _ -> false)
+         events)
+  in
+  let total_rtx = Netsim.Tcp.retransmissions c + Netsim.Tcp.retransmissions s in
+  Alcotest.(check bool) "retransmissions happened" true (total_rtx > 0);
+  Alcotest.(check int) "one retransmit instant per retransmission" total_rtx
+    retransmit_instants;
+  let client_cwnd =
+    List.filter_map
+      (function
+        | Trace.Event.Counter cn
+          when cn.Trace.Event.c_track = "client"
+               && cn.Trace.Event.c_name = "cwnd" ->
+          Some cn.Trace.Event.c_value
+        | _ -> None)
+      events
+  in
+  (match client_cwnd with
+  | first :: _ ->
+    Alcotest.(check (float 0.)) "cwnd starts at the initial window" 10. first
+  | [] -> Alcotest.fail "no cwnd counter samples");
+  Alcotest.(check bool) "cwnd grows past the initial window" true
+    (List.exists (fun v -> v > 10.) client_cwnd);
+  Alcotest.(check bool) "loss shrinks cwnd below the initial window" true
+    (List.exists (fun v -> v < 10.) client_cwnd);
+  Alcotest.(check bool) "flight counter sampled" true
+    (List.exists
+       (function
+         | Trace.Event.Counter cn -> cn.Trace.Event.c_name = "flight"
+         | _ -> false)
+       events)
+
 let test_tcp_initial_cwnd () =
   (* with a long RTT, exactly init_cwnd segments go out in the first burst *)
   let netem =
@@ -217,11 +269,11 @@ let test_tcp_initial_cwnd () =
   let first_burst =
     List.filter
       (fun en ->
-        let p = en.Netsim.Trace.packet in
+        let p = en.Netsim.Tap.packet in
         p.Netsim.Packet.src = "client"
         && Netsim.Packet.payload_len p > 0
-        && en.Netsim.Trace.time < 0.7 (* before the first data ACK returns *))
-      (Netsim.Trace.entries trace)
+        && en.Netsim.Tap.time < 0.7 (* before the first data ACK returns *))
+      (Netsim.Tap.entries trace)
   in
   Alcotest.(check int) "initial window = 10 segments" 10 (List.length first_burst)
 
@@ -244,11 +296,11 @@ let test_tcp_cwnd_segment_counting () =
   let early =
     List.filter
       (fun en ->
-        let p = en.Netsim.Trace.packet in
+        let p = en.Netsim.Tap.packet in
         p.Netsim.Packet.src = "client"
         && Netsim.Packet.payload_len p > 0
-        && en.Netsim.Trace.time < 0.7)
-      (Netsim.Trace.entries trace)
+        && en.Netsim.Tap.time < 0.7)
+      (Netsim.Tap.entries trace)
   in
   Alcotest.(check int) "only 10 segments before the ACK" 10 (List.length early)
 
@@ -258,14 +310,14 @@ let test_tcp_marks () =
   Netsim.Tcp.connect c ~on_established:(fun () ->
       Netsim.Tcp.write c ~marks:[ (0, "A"); (3000, "B") ] (String.make 4000 'm'));
   Netsim.Engine.run e;
-  (match Netsim.Trace.find_mark trace "A" with
+  (match Netsim.Tap.find_mark trace "A" with
   | Some en -> Alcotest.(check int) "A in first segment" 0
-                 en.Netsim.Trace.packet.Netsim.Packet.seq
+                 en.Netsim.Tap.packet.Netsim.Packet.seq
   | None -> Alcotest.fail "mark A not seen");
-  (match Netsim.Trace.find_mark trace "B" with
+  (match Netsim.Tap.find_mark trace "B" with
   | Some en ->
     Alcotest.(check int) "B in third segment" 2896
-      en.Netsim.Trace.packet.Netsim.Packet.seq
+      en.Netsim.Tap.packet.Netsim.Packet.seq
   | None -> Alcotest.fail "mark B not seen")
 
 let test_tcp_fin () =
@@ -283,14 +335,14 @@ let test_tcp_fin () =
   let server_acks =
     List.filter
       (fun en ->
-        en.Netsim.Trace.packet.Netsim.Packet.src = "server"
-        && Netsim.Packet.payload_len en.Netsim.Trace.packet = 0)
-      (Netsim.Trace.entries trace)
+        en.Netsim.Tap.packet.Netsim.Packet.src = "server"
+        && Netsim.Packet.payload_len en.Netsim.Tap.packet = 0)
+      (Netsim.Tap.entries trace)
   in
   (match List.rev server_acks with
   | last :: _ ->
     Alcotest.(check int) "final ACK covers payload + FIN slot" 4
-      last.Netsim.Trace.packet.Netsim.Packet.ack_seq
+      last.Netsim.Tap.packet.Netsim.Packet.ack_seq
   | [] -> Alcotest.fail "server never ACKed")
 
 let test_tcp_bidirectional_loss () =
@@ -389,14 +441,14 @@ let test_jitter_reordering () =
   let server_acks =
     List.filter
       (fun en ->
-        en.Netsim.Trace.packet.Netsim.Packet.src = "server"
-        && Netsim.Packet.payload_len en.Netsim.Trace.packet = 0)
-      (Netsim.Trace.entries trace)
+        en.Netsim.Tap.packet.Netsim.Packet.src = "server"
+        && Netsim.Packet.payload_len en.Netsim.Tap.packet = 0)
+      (Netsim.Tap.entries trace)
   in
   let rec has_dup = function
-    | a :: (b : Netsim.Trace.entry) :: rest ->
-      a.Netsim.Trace.packet.Netsim.Packet.ack_seq
-      = b.Netsim.Trace.packet.Netsim.Packet.ack_seq
+    | a :: (b : Netsim.Tap.entry) :: rest ->
+      a.Netsim.Tap.packet.Netsim.Packet.ack_seq
+      = b.Netsim.Tap.packet.Netsim.Packet.ack_seq
       || has_dup (b :: rest)
     | _ -> false
   in
@@ -409,7 +461,7 @@ let test_pcap_export () =
   Netsim.Tcp.connect c ~on_established:(fun () ->
       Netsim.Tcp.write c (String.make 2000 'p'));
   Netsim.Engine.run e;
-  let dump = Netsim.Pcap.of_entries (Netsim.Trace.entries trace) in
+  let dump = Netsim.Pcap.of_entries (Netsim.Tap.entries trace) in
   (* global header magic, little-endian *)
   Alcotest.(check string) "pcap magic" "d4c3b2a1"
     (Crypto.Bytesx.to_hex (String.sub dump 0 4));
@@ -425,7 +477,7 @@ let test_pcap_export () =
       count (pos + 16 + incl) (acc + 1)
     end
   in
-  Alcotest.(check int) "record per tapped packet" (Netsim.Trace.length trace)
+  Alcotest.(check int) "record per tapped packet" (Netsim.Tap.length trace)
     (count 24 0);
   (* ethertype of the first frame *)
   Alcotest.(check string) "ethertype ipv4" "0800"
@@ -444,6 +496,8 @@ let suites =
         Alcotest.test_case "tcp transfer" `Quick test_tcp_basic_transfer;
         Alcotest.test_case "tcp segmentation" `Quick test_tcp_mss_segmentation;
         Alcotest.test_case "tcp loss recovery" `Quick test_tcp_loss_recovery;
+        Alcotest.test_case "tcp trace counters under loss" `Quick
+          test_tcp_trace_counters;
         Alcotest.test_case "tcp initial cwnd" `Quick test_tcp_initial_cwnd;
         Alcotest.test_case "tcp segment-counted cwnd" `Quick test_tcp_cwnd_segment_counting;
         Alcotest.test_case "tcp marks" `Quick test_tcp_marks;

@@ -149,11 +149,11 @@ type hs_outcome = {
 
 let run_handshake ?(buffering = Tls.Config.Optimized_push) ~real kem_name sig_name =
   let engine = Netsim.Engine.create () in
-  let trace = Netsim.Trace.create () in
+  let trace = Netsim.Tap.create () in
   let rng = Crypto.Drbg.create ~seed:"tls-hs" in
   let link =
     Netsim.Link.create engine (Crypto.Drbg.fork rng "link") Netsim.Link.ideal
-      ~tap:(fun t p -> Netsim.Trace.tap trace t p)
+      ~tap:(fun t p -> Netsim.Tap.tap trace t p)
   in
   let client_host = Netsim.Host.create engine ~name:"client" in
   let server_host = Netsim.Host.create engine ~name:"server" in
@@ -168,7 +168,7 @@ let run_handshake ?(buffering = Tls.Config.Optimized_push) ~real kem_name sig_na
   match !result with
   | None -> Alcotest.fail (Printf.sprintf "%s x %s did not complete" kem_name sig_name)
   | Some r ->
-    let t label = (Option.get (Netsim.Trace.find_mark trace label)).Netsim.Trace.time in
+    let t label = (Option.get (Netsim.Tap.find_mark trace label)).Netsim.Tap.time in
     { part_a = t "SH" -. t "CH";
       part_b = t "FIN_C" -. t "SH";
       client_bytes = Netsim.Tcp.bytes_sent r.Tls.Handshake.client_tcp;
