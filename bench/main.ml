@@ -133,20 +133,24 @@ let () =
   (* [--seed S], [-j N], [--cache DIR], [--retries N] and
      [-k|--keep-going] apply to every campaign target; the remaining
      arguments name targets, default all *)
-  let rec parse jobs cache retries keep_going = function
+  let rec parse jobs cache retries keep_going metrics = function
     | ("-j" | "--jobs") :: n :: rest ->
-      parse (int_of_string_opt n) cache retries keep_going rest
+      parse (int_of_string_opt n) cache retries keep_going metrics rest
     | "--seed" :: s :: rest ->
       seed_ref := s;
-      parse jobs cache retries keep_going rest
-    | "--cache" :: dir :: rest -> parse jobs (Some dir) retries keep_going rest
+      parse jobs cache retries keep_going metrics rest
+    | "--cache" :: dir :: rest ->
+      parse jobs (Some dir) retries keep_going metrics rest
     | "--retries" :: n :: rest ->
-      parse jobs cache (int_of_string_opt n) keep_going rest
-    | ("-k" | "--keep-going") :: rest -> parse jobs cache retries true rest
-    | names -> (jobs, cache, retries, keep_going, names)
+      parse jobs cache (int_of_string_opt n) keep_going metrics rest
+    | ("-k" | "--keep-going") :: rest ->
+      parse jobs cache retries true metrics rest
+    | "--metrics" :: file :: rest ->
+      parse jobs cache retries keep_going (Some file) rest
+    | names -> (jobs, cache, retries, keep_going, metrics, names)
   in
-  let jobs, cache_dir, retries, keep_going, requested =
-    parse None None None false (List.tl (Array.to_list Sys.argv))
+  let jobs, cache_dir, retries, keep_going, metrics_out, requested =
+    parse None None None false None (List.tl (Array.to_list Sys.argv))
   in
   exec := Core.Exec.create ?jobs ?cache_dir ?retries ();
   let requested =
@@ -167,5 +171,14 @@ let () =
           (String.concat " " (List.map fst targets));
         exit 1)
     requested;
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+    let artifact = Core.Metrics.artifact !exec.Core.Exec.metrics ~seed:(seed ()) in
+    let oc = open_out path in
+    output_string oc (Core.Metrics.to_json_string artifact);
+    close_out oc;
+    Printf.eprintf "wrote %s (%d cells)\n%!" path
+      (List.length artifact.Core.Metrics.a_cells));
   Printf.eprintf "%s\n%!" (Core.Exec.health_summary !exec);
   if Core.Exec.failed_count !exec > 0 && not keep_going then exit 1

@@ -55,13 +55,107 @@ let keep_going_arg =
 (* ---- list ---------------------------------------------------------------- *)
 
 let list_cmd =
-  let run () =
-    List.iter
-      (fun name -> Printf.printf "%-22s %s\n" name (Core.Catalog.describe name))
-      Core.Catalog.names
+  let what_arg =
+    let whats =
+      [ ("experiments", `Experiments); ("kas", `Kas); ("sas", `Sas);
+        ("scenarios", `Scenarios) ]
+    in
+    Arg.(
+      value
+      & pos 0 (enum whats) `Experiments
+      & info [] ~docv:"WHAT"
+          ~doc:
+            "What to list: $(b,experiments) (default), $(b,kas), \
+             $(b,sas), or $(b,scenarios).")
   in
-  Cmd.v (Cmd.info "list" ~doc:"List the available experiments (Appendix B.6 schema).")
-    Term.(const run $ const ())
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the listing as JSON (stable field order) for scripts.")
+  in
+  let run what json =
+    let open Core.Json in
+    let emit j = print_string (to_string j) in
+    match (what, json) with
+    | `Experiments, false ->
+      List.iter
+        (fun name ->
+          Printf.printf "%-22s %s\n" name (Core.Catalog.describe name))
+        Core.Catalog.names
+    | `Experiments, true ->
+      emit
+        (List
+           (List.map
+              (fun n ->
+                Obj
+                  [ ("name", String n);
+                    ("description", String (Core.Catalog.describe n));
+                    ( "aliases",
+                      List
+                        (List.filter_map
+                           (fun (a, target) ->
+                             if target = n then Some (String a) else None)
+                           Core.Catalog.aliases) ) ])
+              Core.Catalog.names))
+    | `Kas, false ->
+      List.iter (fun (k : Pqc.Kem.t) -> print_endline k.name) Pqc.Registry.kems
+    | `Kas, true ->
+      emit
+        (List
+           (List.map
+              (fun (k : Pqc.Kem.t) ->
+                Obj
+                  [ ("name", String k.name);
+                    ("level", Int k.level);
+                    ("hybrid", Bool k.hybrid);
+                    ("public_key_bytes", Int k.public_key_bytes);
+                    ("ciphertext_bytes", Int k.ciphertext_bytes) ])
+              Pqc.Registry.kems))
+    | `Sas, false ->
+      List.iter (fun (s : Pqc.Sigalg.t) -> print_endline s.name) Pqc.Registry.sigs
+    | `Sas, true ->
+      emit
+        (List
+           (List.map
+              (fun (s : Pqc.Sigalg.t) ->
+                Obj
+                  [ ("name", String s.name);
+                    ("level", Int s.level);
+                    ("hybrid", Bool s.hybrid);
+                    ("public_key_bytes", Int s.public_key_bytes);
+                    ("signature_bytes", Int s.signature_bytes) ])
+              Pqc.Registry.sigs))
+    | `Scenarios, false ->
+      List.iter
+        (fun (s : Core.Scenario.t) -> Printf.printf "%-10s %s\n" s.name s.label)
+        Core.Scenario.all
+    | `Scenarios, true ->
+      emit
+        (List
+           (List.map
+              (fun (s : Core.Scenario.t) ->
+                let n = s.Core.Scenario.netem in
+                Obj
+                  [ ("name", String s.name);
+                    ("label", String s.label);
+                    ("loss", Float n.Netsim.Link.loss);
+                    ( "loss_towards",
+                      match n.Netsim.Link.loss_towards with
+                      | None -> Null
+                      | Some d -> String d );
+                    ("delay_s", Float n.Netsim.Link.delay_s);
+                    ("jitter_s", Float n.Netsim.Link.jitter_s);
+                    ("rate_bps", Float n.Netsim.Link.rate_bps) ])
+              Core.Scenario.all))
+  in
+  Cmd.v
+    (Cmd.info "list"
+       ~doc:
+         "List the available experiments (Appendix B.6 schema), key \
+          agreements, signature algorithms, or network scenarios; \
+          $(b,--json) emits a machine-readable listing.")
+    Term.(const run $ what_arg $ json_arg)
 
 (* ---- run ----------------------------------------------------------------- *)
 
@@ -86,8 +180,17 @@ let run_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
+  let metrics_out =
+    let doc =
+      "Write the machine-readable campaign artifact (per-cell latency \
+       and wire distributions, retransmit and CPU counters) to $(docv) \
+       as versioned JSON. Byte-identical for any $(b,--jobs) and for \
+       cached vs fresh cells; feed it to $(b,compare)."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
   let run seed jobs cache_dir quiet retries keep_going out_dir csv trace_out
-      experiments =
+      metrics_out experiments =
     let store = Option.map (fun _ -> Trace.Store.create ()) trace_out in
     let exec =
       Core.Exec.create ~jobs ?cache_dir ~progress:(not quiet) ~retries
@@ -95,6 +198,8 @@ let run_cmd =
     in
     List.iter
       (fun name ->
+        Core.Metrics.note_experiment exec.Core.Exec.metrics
+          (Core.Catalog.resolve name);
         if not quiet then
           Printf.eprintf "==> %s (%d jobs%s)\n%!" name exec.Core.Exec.jobs
             (match cache_dir with
@@ -137,6 +242,16 @@ let run_cmd =
         (Trace.Store.length store)
         (Trace.Store.total_events store)
     | _ -> ());
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+      let artifact = Core.Metrics.artifact exec.Core.Exec.metrics ~seed in
+      let oc = open_out path in
+      output_string oc (Core.Metrics.to_json_string artifact);
+      close_out oc;
+      (* the notice goes to stderr: stdout stays bit-identical *)
+      Printf.eprintf "wrote %s (%d cells)\n%!" path
+        (List.length artifact.Core.Metrics.a_cells));
     (* the health summary goes to stderr: stdout stays bit-identical
        across --jobs and runs *)
     let failed = Core.Exec.failed_count exec in
@@ -153,7 +268,96 @@ let run_cmd =
           rendered report; $(b,--keep-going) makes such runs exit 0.")
     Term.(
       const run $ seed_arg $ jobs_arg $ cache_arg $ quiet_arg $ retries_arg
-      $ keep_going_arg $ out_dir $ csv $ trace_out $ experiments)
+      $ keep_going_arg $ out_dir $ csv $ trace_out $ metrics_out
+      $ experiments)
+
+(* ---- compare --------------------------------------------------------------- *)
+
+let compare_cmd =
+  let files =
+    let doc = "Metrics artifacts written by $(b,run --metrics)." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"ARTIFACT" ~doc)
+  in
+  let against_paper_arg =
+    Arg.(
+      value & flag
+      & info [ "against-paper" ]
+          ~doc:
+            "Judge each artifact's standard cells against the embedded \
+             paper tables (2a/2b medians, bytes and handshake rates; \
+             4a/4b scenario medians) instead of diffing two artifacts.")
+  in
+  let rel_tol_arg =
+    let doc =
+      "Per-metric relative tolerance for artifact diffs, as a fraction \
+       (default 0 = bit-exact numbers)."
+    in
+    Arg.(value & opt float 0. & info [ "rel-tol" ] ~docv:"FRACTION" ~doc)
+  in
+  let run against_paper rel_tol files =
+    let load path =
+      let ic = open_in_bin path in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Core.Metrics.of_json_string contents with
+      | Ok a -> a
+      | Error e ->
+        Printf.eprintf "error: %s: %s\n" path e;
+        exit 2
+    in
+    let show path issues ok_line =
+      if issues = [] then print_endline ok_line
+      else begin
+        Printf.printf "%s: %d issue%s:\n" path (List.length issues)
+          (if List.length issues = 1 then "" else "s");
+        List.iter (fun i -> Printf.printf "  %s\n" i) issues
+      end;
+      issues <> []
+    in
+    let drifted =
+      if against_paper then
+        List.fold_left
+          (fun acc path ->
+            let a = load path in
+            let checked, issues = Core.Metrics.against_paper a in
+            let drift =
+              show path issues
+                (Printf.sprintf "%s: %d paper comparison%s ok" path checked
+                   (if checked = 1 then "" else "s"))
+            in
+            (* zero comparisons on an artifact with cells means the gate
+               is miswired (e.g. only non-standard cells): fail loudly
+               rather than vacuously pass *)
+            if checked = 0 && a.Core.Metrics.p_cells <> [] then begin
+              Printf.printf
+                "%s: no cell was comparable to the paper tables\n" path;
+              true
+            end
+            else acc || drift)
+          false files
+      else
+        match files with
+        | [ base; cand ] ->
+          let b = load base in
+          let issues = Core.Metrics.diff ~rel_tol b (load cand) in
+          show (base ^ " vs " ^ cand) issues
+            (Printf.sprintf "%s and %s agree (%d cells)" base cand
+               (List.length b.Core.Metrics.p_cells))
+        | _ ->
+          Printf.eprintf
+            "error: compare takes exactly two artifacts (or any number \
+             with --against-paper)\n";
+          exit 2
+    in
+    if drifted then exit 1
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Diff two metrics artifacts cell by cell, or gate artifacts \
+          against the paper's tables with $(b,--against-paper). Exits 1 \
+          on drift, 2 on unreadable artifacts.")
+    Term.(const run $ against_paper_arg $ rel_tol_arg $ files)
 
 (* ---- handshake ------------------------------------------------------------ *)
 
@@ -385,4 +589,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; handshake_cmd; trace_cmd; algorithms_cmd ]))
+          [ list_cmd; run_cmd; compare_cmd; handshake_cmd; trace_cmd;
+            algorithms_cmd ]))

@@ -34,6 +34,7 @@ type t = {
   fail_cell : string option;
   counters : counters;
   trace : Trace.Store.t option;
+  metrics : Metrics.t;
 }
 
 let default_jobs = Pool.default_jobs
@@ -46,7 +47,7 @@ let fresh_counters () =
 
 let sequential =
   { jobs = 1; cache = None; progress = false; retries = 1; fail_cell = None;
-    counters = fresh_counters (); trace = None }
+    counters = fresh_counters (); trace = None; metrics = Metrics.create () }
 
 let create ?jobs ?cache_dir ?(progress = false) ?(retries = 1) ?fail_cell
     ?trace () =
@@ -60,7 +61,8 @@ let create ?jobs ?cache_dir ?(progress = false) ?(retries = 1) ?fail_cell
       | Some _ -> fail_cell
       | None -> Sys.getenv_opt "PQTLS_FAIL_CELL");
     counters = fresh_counters ();
-    trace }
+    trace;
+    metrics = Metrics.create () }
 
 let contains ~needle hay =
   let n = String.length needle and h = String.length hay in
@@ -124,20 +126,32 @@ let cells t specs =
         specs
   in
   let run (spec, trace) =
-    match t.cache with
-    | None -> (run_cell ?trace t spec, `Miss)
-    | Some c -> (
-      let k = Result_cache.key c spec in
-      match Result_cache.find c k with
-      | Some o ->
-        Atomic.incr t.counters.c_ok;
-        (Ok o, `Hit)
-      | None ->
-        let r = run_cell ?trace t spec in
-        (* failures are never cached: the next run re-executes the cell
-           instead of replaying the error *)
-        (match r with Ok o -> Result_cache.store c k o | Error _ -> ());
-        (r, `Miss))
+    let t0 = Unix.gettimeofday () in
+    let result =
+      match t.cache with
+      | None -> (run_cell ?trace t spec, `Miss)
+      | Some c -> (
+        let k = Result_cache.key c spec in
+        match Result_cache.find c k with
+        | Some o ->
+          Atomic.incr t.counters.c_ok;
+          (Ok o, `Hit)
+        | None ->
+          let r = run_cell ?trace t spec in
+          (* failures are never cached: the next run re-executes the cell
+             instead of replaying the error *)
+          (match r with Ok o -> Result_cache.store c k o | Error _ -> ());
+          (r, `Miss))
+    in
+    (* self-telemetry: volatile (host wall clock, scheduling-dependent),
+       so it feeds the registry and the stderr health summary only —
+       never the deterministic artifact *)
+    Metrics.observe t.metrics "cell_wall_s" (Unix.gettimeofday () -. t0);
+    Metrics.incr t.metrics
+      (match snd result with
+      | `Hit -> "cells_from_cache"
+      | `Miss -> "cells_executed");
+    result
   in
   let on_done =
     if not t.progress then None
@@ -168,6 +182,14 @@ let cells t specs =
     List.iter
       (function Some b -> Trace.Store.add store b | None -> ())
       bufs);
+  (* record cell summaries in spec order from this (coordinating)
+     domain, mirroring the trace-buffer merge above: the artifact's cell
+     order is a function of the grids alone, never of [jobs] *)
+  List.iter2
+    (fun spec (r, _status) ->
+      Metrics.record_cell t.metrics spec
+        (Result.map_error (fun e -> e.ce_message) r))
+    specs results;
   List.map fst results
 
 let cell t spec =
@@ -187,7 +209,15 @@ let cache_summary t =
     t.cache
 
 let health_summary t =
-  Printf.sprintf "campaign health: %d cells ok (%d retried), %d failed%s; wall %.1f s"
+  let walls = Metrics.observations t.metrics "cell_wall_s" in
+  let total_wall = List.fold_left ( +. ) 0. walls in
+  let max_wall = List.fold_left Float.max 0. walls in
+  Printf.sprintf
+    "campaign health: %d cells ok (%d retried), %d failed%s; wall %.1f s; \
+     cells: %d fresh, %d cached; cell wall %.1f s total, %.1f s max"
     (ok_count t) (retried_count t) (failed_count t)
     (match cache_summary t with None -> "" | Some line -> "; " ^ line)
     (Unix.gettimeofday () -. t.counters.c_started)
+    (Metrics.counter t.metrics "cells_executed")
+    (Metrics.counter t.metrics "cells_from_cache")
+    total_wall max_wall

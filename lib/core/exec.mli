@@ -44,6 +44,13 @@ type t = {
           per-cell buffer; buffers are merged into the store in spec
           order after each {!cells} call, bit-identical whatever
           [jobs]. Cache hits contribute empty labelled buffers. *)
+  metrics : Metrics.t;
+      (** always-on observability: per-cell distribution summaries
+          recorded in spec order after each {!cells} call (deduplicated
+          on the spec fingerprint, so the artifact is bit-identical
+          whatever [jobs]), plus volatile self-telemetry — the
+          [cells_executed] / [cells_from_cache] counters and the
+          [cell_wall_s] series feeding {!health_summary}. *)
 }
 
 val sequential : t
@@ -92,5 +99,6 @@ val cache_summary : t -> string option
 
 val health_summary : t -> string
 (** One line: cells ok / retried / failed, cache hits when a cache is
-    attached, and wall time since the context was created. Wall time is
-    host time — print this to stderr to keep reports deterministic. *)
+    attached, wall time since the context was created, fresh-vs-cached
+    cell counts, and total / max per-cell wall time. Wall time is host
+    time — print this to stderr to keep reports deterministic. *)

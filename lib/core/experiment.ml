@@ -8,6 +8,9 @@ type sample = {
   client_pkts : int;
   server_pkts : int;
   retransmissions : int;
+  fast_retransmissions : int;
+  timeout_retransmissions : int;
+  rtt_samples : int;
 }
 
 type outcome = {
@@ -21,6 +24,8 @@ type outcome = {
   server_cpu_ms : float;
   client_ledger : (string * float) list;
   server_ledger : (string * float) list;
+  client_cpu_charges : int;
+  server_cpu_charges : int;
 }
 
 (* the measurement loop itself burns some client/server CPU between
@@ -183,7 +188,16 @@ let run_spec_traced sp =
               server_pkts = Netsim.Tcp.packets_sent r.Tls.Handshake.server_tcp;
               retransmissions =
                 Netsim.Tcp.retransmissions r.Tls.Handshake.client_tcp
-                + Netsim.Tcp.retransmissions r.Tls.Handshake.server_tcp }
+                + Netsim.Tcp.retransmissions r.Tls.Handshake.server_tcp;
+              fast_retransmissions =
+                Netsim.Tcp.fast_retransmissions r.Tls.Handshake.client_tcp
+                + Netsim.Tcp.fast_retransmissions r.Tls.Handshake.server_tcp;
+              timeout_retransmissions =
+                Netsim.Tcp.timeout_retransmissions r.Tls.Handshake.client_tcp
+                + Netsim.Tcp.timeout_retransmissions r.Tls.Handshake.server_tcp;
+              rtt_samples =
+                Netsim.Tcp.rtt_samples r.Tls.Handshake.client_tcp
+                + Netsim.Tcp.rtt_samples r.Tls.Handshake.server_tcp }
           in
           samples := sample :: !samples;
           incr count;
@@ -237,7 +251,9 @@ let run_spec_traced sp =
     client_cpu_ms = Netsim.Host.total_cpu_ms client_host /. n;
     server_cpu_ms = Netsim.Host.total_cpu_ms server_host /. n;
     client_ledger = normalize_ledger (Netsim.Host.ledger client_host);
-    server_ledger = normalize_ledger (Netsim.Host.ledger server_host) }
+    server_ledger = normalize_ledger (Netsim.Host.ledger server_host);
+    client_cpu_charges = Netsim.Host.charge_count client_host;
+    server_cpu_charges = Netsim.Host.charge_count server_host }
 
 (* [trace] routes every event emitted while the cell runs (cpu spans,
    TCP instants, wire occupancy, handshake phases) into [buf] via the

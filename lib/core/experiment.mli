@@ -17,7 +17,10 @@ type sample = {
   server_bytes : int;
   client_pkts : int;
   server_pkts : int;
-  retransmissions : int;
+  retransmissions : int;  (** both directions, any cause *)
+  fast_retransmissions : int;  (** dup-ACK-driven subset *)
+  timeout_retransmissions : int;  (** RTO / SYN / SYN-ACK subset *)
+  rtt_samples : int;  (** completed round-trip measurements, both sides *)
 }
 
 type outcome = {
@@ -35,6 +38,10 @@ type outcome = {
   client_ledger : (string * float) list;
       (** per-library share of client CPU, fraction of total, desc. *)
   server_ledger : (string * float) list;
+  client_cpu_charges : int;
+      (** CPU charge events on the host over the whole run — harness
+          scheduler pressure, surfaced in the metrics artifact *)
+  server_cpu_charges : int;
 }
 
 type spec = {

@@ -2,16 +2,19 @@ type t = {
   engine : Engine.t;
   name : string;
   mutable cpu_free : float; (* the core is busy until this time *)
+  mutable charges : int; (* CPU charge events, sync and async *)
   ledger : (string, float) Hashtbl.t;
 }
 
-let create engine ~name = { engine; name; cpu_free = 0.; ledger = Hashtbl.create 8 }
+let create engine ~name =
+  { engine; name; cpu_free = 0.; charges = 0; ledger = Hashtbl.create 8 }
 let name t = t.name
 let now t = Engine.now t.engine
 
 let account t lib ms =
   let prev = Option.value ~default:0. (Hashtbl.find_opt t.ledger lib) in
-  Hashtbl.replace t.ledger lib (prev +. ms)
+  Hashtbl.replace t.ledger lib (prev +. ms);
+  t.charges <- t.charges + 1
 
 (* Every CPU charge emits one "cpu" span over exactly the interval the
    core is occupied. The single-core model serializes charges through
@@ -47,4 +50,5 @@ let ledger t =
   |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
 
 let total_cpu_ms t = Hashtbl.fold (fun _ ms acc -> acc +. ms) t.ledger 0.
+let charge_count t = t.charges
 let reset_ledger t = Hashtbl.reset t.ledger

@@ -24,4 +24,11 @@ val ledger : t -> (string * float) list
 (** Accumulated CPU milliseconds per library, descending. *)
 
 val total_cpu_ms : t -> float
+
+val charge_count : t -> int
+(** Number of CPU charge events ({!charge} plus {!charge_async}) since
+    creation — a cheap proxy for scheduler pressure in the metrics
+    artifact. *)
+
 val reset_ledger : t -> unit
+(** Clears the per-library ledger; {!charge_count} is unaffected. *)

@@ -55,6 +55,9 @@ type t = {
   mutable wire_bytes : int;
   mutable pkts : int;
   mutable rtx : int;
+  mutable rtx_fast : int; (* dup-ACK-triggered (incl. NewReno partial) *)
+  mutable rtx_timeout : int; (* timer-driven: RTO, SYN, SYN-ACK *)
+  mutable rtt_meas : int; (* completed round-trip measurements *)
   mutable next_pkt_id : int;
 }
 
@@ -69,7 +72,8 @@ let make engine link config host =
     high_water = 0; syn_sent_at = nan; in_recovery = false;
     fin_pending = false; rcv_nxt = 0; ooo = []; unacked_segs = 0;
     pending_deliveries = 0; agg_timer = None; delack_timer = None;
-    wire_bytes = 0; pkts = 0; rtx = 0; next_pkt_id = 0 }
+    wire_bytes = 0; pkts = 0; rtx = 0; rtx_fast = 0; rtx_timeout = 0;
+    rtt_meas = 0; next_pkt_id = 0 }
 
 (* trace emission: counters for congestion-window / flight evolution and
    instants for every retransmission and transmitted packet. All are
@@ -203,6 +207,7 @@ and on_rto t =
     t.seg_ends <- [];
     t.snd_nxt <- t.snd_una;
     t.rtx <- t.rtx + 1;
+    t.rtx_timeout <- t.rtx_timeout + 1;
     note_retransmit t "rto";
     note_cwnd t;
     note_flight t;
@@ -217,6 +222,7 @@ and retransmit_first t =
   let len = min t.config.mss (buffer_end t - t.snd_una) in
   if len > 0 then begin
     t.rtx <- t.rtx + 1;
+    t.rtx_fast <- t.rtx_fast + 1;
     note_retransmit t "fast";
     let payload = Buffer.sub t.send_buf t.snd_una len in
     emit t ~flags:Packet.plain_flags ~payload
@@ -268,6 +274,7 @@ and maybe_send_fin t =
 
 and rtt_sample t r =
   let r = Float.max r 1e-6 in
+  t.rtt_meas <- t.rtt_meas + 1;
   (match t.srtt with
   | None ->
     t.srtt <- Some r;
@@ -382,6 +389,7 @@ and handle t (p : Packet.t) =
   | Syn_received when p.flags.syn && not p.flags.ack ->
     (* our SYN-ACK was lost and the client retransmitted its SYN *)
     t.rtx <- t.rtx + 1;
+    t.rtx_timeout <- t.rtx_timeout + 1;
     note_retransmit t "synack";
     t.syn_sent_at <- nan;
     emit t ~flags:Packet.synack_flags ~seq:0 ~ack_seq:0 ()
@@ -435,6 +443,7 @@ let rec send_syn t attempt =
   if t.state = Syn_sent then begin
     if attempt > 0 then begin
       t.rtx <- t.rtx + 1;
+      t.rtx_timeout <- t.rtx_timeout + 1;
       note_retransmit t "syn"
     end;
     (* Karn: a retransmitted SYN invalidates the handshake RTT sample *)
@@ -475,3 +484,6 @@ let close t =
 let bytes_sent t = t.wire_bytes
 let packets_sent t = t.pkts
 let retransmissions t = t.rtx
+let fast_retransmissions t = t.rtx_fast
+let timeout_retransmissions t = t.rtx_timeout
+let rtt_samples t = t.rtt_meas

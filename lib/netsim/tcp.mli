@@ -44,4 +44,19 @@ val bytes_sent : t -> int
     ACKs, retransmissions and handshake segments. *)
 
 val packets_sent : t -> int
+
 val retransmissions : t -> int
+(** Every retransmitted segment, whatever triggered it. *)
+
+val fast_retransmissions : t -> int
+(** Duplicate-ACK-driven retransmits (including NewReno partial-ACK
+    ones) — the subset of {!retransmissions} that cost no timer wait. *)
+
+val timeout_retransmissions : t -> int
+(** Timer-driven retransmits: RTO go-back-N plus SYN / SYN-ACK
+    handshake retries. *)
+
+val rtt_samples : t -> int
+(** Completed round-trip measurements this endpoint took (handshake
+    RTT plus Karn-filtered data RTTs) — a per-connection round-trip
+    counter for the metrics artifact. *)
