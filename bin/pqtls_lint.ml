@@ -1,0 +1,111 @@
+(* pqtls-lint — the determinism & constant-time analysis gate.
+
+     pqtls-lint check                 # lib bin bench test, text report
+     pqtls-lint check lib/crypto --rule C1
+     pqtls-lint check --format json   # CI artifact
+     pqtls-lint rules                 # the rule catalog
+
+   Exit codes: 0 clean, 1 violations found, 2 parse/usage errors — so CI
+   can distinguish "the code is wrong" from "the linter could not run". *)
+
+open Cmdliner
+
+let default_paths = [ "lib"; "bin"; "bench"; "test" ]
+
+let paths_arg =
+  let doc =
+    "Files or directories to check (default: lib bin bench test)."
+  in
+  Arg.(value & pos_all string default_paths & info [] ~docv:"PATH" ~doc)
+
+let format_arg =
+  let doc = "Report format: $(b,text) or $(b,json)." in
+  Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT" ~doc)
+
+let rule_arg =
+  let doc =
+    "Run only rule $(docv) (repeatable). Default: the full catalog."
+  in
+  Arg.(value & opt_all string [] & info [ "r"; "rule" ] ~docv:"RULE" ~doc)
+
+let allowlist_arg =
+  let doc =
+    "Checked-in allowlist file of audited exceptions (RULE PATH SYMBOL \
+     REASON per line)."
+  in
+  Arg.(
+    value & opt string "lint.allow" & info [ "allowlist" ] ~docv:"FILE" ~doc)
+
+let check_cmd =
+  let run paths format rule_names allowlist =
+    match Lint.Report.format_of_string format with
+    | None ->
+      Printf.eprintf "pqtls-lint: unknown format %S (want text or json)\n"
+        format;
+      exit 2
+    | Some fmt -> (
+      match
+        List.filter_map
+          (fun name ->
+            match Lint.Engine.find_rule name with
+            | Some r -> Some (Ok r)
+            | None -> Some (Error name))
+          rule_names
+      with
+      | selected
+        when List.exists (function Error _ -> true | Ok _ -> false) selected
+        ->
+        List.iter
+          (function
+            | Error name ->
+              Printf.eprintf "pqtls-lint: unknown rule %S\n" name
+            | Ok _ -> ())
+          selected;
+        exit 2
+      | selected ->
+        let rules =
+          match
+            List.filter_map
+              (function Ok r -> Some r | Error _ -> None)
+              selected
+          with
+          | [] -> Lint.Engine.rules
+          | rs -> rs
+        in
+        let sources, parse_errors = Lint.Source.load_paths paths in
+        let entries, allow_diags = Lint.Allow.load_file allowlist in
+        let diags = allow_diags @ Lint.Engine.run ~entries ~rules sources in
+        print_string
+          (Lint.Report.render fmt
+             ~files:(List.length sources)
+             ~errors:parse_errors diags);
+        if parse_errors <> [] then exit 2
+        else if diags <> [] then exit 1
+        else exit 0)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Parse every .ml/.mli under the given paths and run the \
+          determinism / constant-time / state-discipline rules.")
+    Term.(const run $ paths_arg $ format_arg $ rule_arg $ allowlist_arg)
+
+let rules_cmd =
+  let run () =
+    List.iter
+      (fun (r : Lint.Rule.t) ->
+        Printf.printf "%-4s %s\n" r.Lint.Rule.name r.Lint.Rule.synopsis)
+      Lint.Engine.rules
+  in
+  Cmd.v
+    (Cmd.info "rules" ~doc:"List the rule catalog.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "pqtls-lint"
+      ~doc:
+        "AST-level determinism and constant-time analysis gate for the \
+         pqtls tree"
+  in
+  exit (Cmd.eval (Cmd.group info ~default:Term.(ret (const (`Help (`Pager, None)))) [ check_cmd; rules_cmd ]))

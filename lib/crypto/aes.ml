@@ -37,6 +37,8 @@ let sbox =
   done;
   assert (t.(0) = 0x63 && t.(0x53) = 0xed);
   t
+[@@lint.allow "S1" "init-once S-box table; computed at module init and \
+                    never written again"]
 
 let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
 

@@ -1,5 +1,10 @@
 let extract h ~salt ~ikm =
-  let salt = if salt = "" then String.make h.Hmac.digest_size '\000' else salt in
+  let salt =
+    if (salt = "" [@lint.allow "C1" "emptiness check selecting the RFC 5869 \
+                                     default salt; length is public"])
+    then String.make h.Hmac.digest_size '\000'
+    else salt
+  in
   Hmac.hmac h ~key:salt ikm
 
 let expand h ~prk ~info len =

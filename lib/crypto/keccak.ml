@@ -41,6 +41,8 @@ let pi =
     done
   done;
   t
+[@@lint.allow "S1" "init-once permutation table; never written after \
+                    module init"]
 
 type state = {
   lo : int array; (* 25 low halves *)
@@ -60,9 +62,17 @@ let make_state () =
     blo = Array.make 25 0; bhi = Array.make 25 0 }
 
 (* index tables avoid mod-5 arithmetic in the inner loops *)
-let mod5 = Array.init 25 (fun i -> i mod 5)
-let chi_i1 = Array.init 25 (fun i -> (5 * (i / 5)) + ((i + 1) mod 5))
-let chi_i2 = Array.init 25 (fun i -> (5 * (i / 5)) + ((i + 2) mod 5))
+let mod5 =
+  Array.init 25 (fun i -> i mod 5)
+[@@lint.allow "S1" "init-once index table; never written after module init"]
+
+let chi_i1 =
+  Array.init 25 (fun i -> (5 * (i / 5)) + ((i + 1) mod 5))
+[@@lint.allow "S1" "init-once index table; never written after module init"]
+
+let chi_i2 =
+  Array.init 25 (fun i -> (5 * (i / 5)) + ((i + 2) mod 5))
+[@@lint.allow "S1" "init-once index table; never written after module init"]
 
 let keccak_f st =
   let lo = st.lo and hi = st.hi in

@@ -23,7 +23,9 @@ let find bits =
   | None -> None
   | Some (_, p, q) -> Some (Bignum.of_hex p, Bignum.of_hex q)
 
-let key_cache : (int, Rsa.priv) Hashtbl.t = Hashtbl.create 8
+let key_cache : (int, Rsa.priv) Hashtbl.t =
+  Hashtbl.create 8
+[@@lint.allow "S1" "every access goes through key_cache_lock below"]
 
 (* the cache is shared across domains when campaigns run in parallel *)
 let key_cache_lock = Mutex.create ()

@@ -1,0 +1,16 @@
+(** Fixed RSA keypairs for tests and benchmarks.
+
+    Key generation is multi-second at benchmark sizes, so moduli built
+    from pre-generated seeded primes (see DESIGN.md) are embedded and
+    memoized behind a mutex; campaigns running cells on several domains
+    share one cache. The keys are for this repository only — never reuse
+    them elsewhere. *)
+
+val find : int -> (Bignum.t * Bignum.t) option
+(** [find bits] is the embedded prime pair [(p, q)] for a modulus of
+    [bits] bits, if one is embedded (1024, 2048, 3072, 4096). *)
+
+val fixed_key : int -> Rsa.priv
+(** [fixed_key bits] is the deterministic keypair of [bits] modulus
+    bits: the embedded primes when available, otherwise generated from a
+    fixed seed (slow path). Memoized; domain-safe. *)

@@ -13,6 +13,8 @@ let base_point =
   let b = Bytes.make 32 '\000' in
   Bytes.set b 0 '\x09';
   Bytes.unsafe_to_string b
+[@@lint.allow "S1" "frozen to an immutable string before escaping module \
+                    init"]
 
 let of_le s = B.of_bytes_be (String.init (String.length s) (fun i -> s.[String.length s - 1 - i]))
 

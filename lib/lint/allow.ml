@@ -1,0 +1,166 @@
+open Parsetree
+
+type scope = {
+  s_rule : string;
+  s_file : string;
+  s_line_start : int;
+  s_line_end : int;
+  s_reason : string;
+}
+
+type entry = {
+  e_rule : string;
+  e_path : string;
+  e_symbol : string;
+  e_reason : string;
+}
+
+let attr_name = "lint.allow"
+
+(* [@lint.allow "RULE" "reason"] — the payload parses as the string
+   constant "RULE" applied to "reason" (never typechecked, so the odd
+   shape is fine); a bare string or a pair is accepted too. *)
+let payload_strings = function
+  | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> (
+    match e.pexp_desc with
+    | Pexp_apply (f, [ (Asttypes.Nolabel, a) ]) -> (
+      match (Walk.string_const f, Walk.string_const a) with
+      | Some rule, Some reason -> Some (rule, reason)
+      | _ -> None)
+    | Pexp_tuple [ a; b ] -> (
+      match (Walk.string_const a, Walk.string_const b) with
+      | Some rule, Some reason -> Some (rule, reason)
+      | _ -> None)
+    | Pexp_constant (Pconst_string (rule, _, _)) -> Some (rule, "")
+    | _ -> None)
+  | _ -> None
+
+let scopes_of_source (src : Source.t) =
+  let scopes = ref [] and bad = ref [] in
+  let host ~whole_file (loc : Location.t) attrs =
+    List.iter
+      (fun (a : attribute) ->
+        if a.attr_name.Asttypes.txt = attr_name then
+          match payload_strings a.attr_payload with
+          | Some (rule, reason) when reason <> "" ->
+            scopes :=
+              { s_rule = rule;
+                s_file = src.Source.path;
+                s_line_start =
+                  (if whole_file then 0
+                   else loc.Location.loc_start.Lexing.pos_lnum);
+                s_line_end =
+                  (if whole_file then max_int
+                   else loc.Location.loc_end.Lexing.pos_lnum);
+                s_reason = reason }
+              :: !scopes
+          | _ ->
+            bad :=
+              Diag.make ~rule:"LINT" ~file:src.Source.path a.attr_loc
+                "lint.allow needs a rule and a non-empty reason: \
+                 [@lint.allow \"RULE\" \"why this site is exempt\"]"
+              :: !bad)
+      attrs
+  in
+  let super = Ast_iterator.default_iterator in
+  let iter =
+    { super with
+      expr =
+        (fun self e ->
+          host ~whole_file:false e.pexp_loc e.pexp_attributes;
+          super.expr self e);
+      value_binding =
+        (fun self vb ->
+          host ~whole_file:false vb.pvb_loc vb.pvb_attributes;
+          super.value_binding self vb);
+      module_binding =
+        (fun self mb ->
+          host ~whole_file:false mb.pmb_loc mb.pmb_attributes;
+          super.module_binding self mb);
+      structure_item =
+        (fun self it ->
+          (match it.pstr_desc with
+          | Pstr_attribute a -> host ~whole_file:true it.pstr_loc [ a ]
+          | _ -> ());
+          super.structure_item self it);
+      signature_item =
+        (fun self it ->
+          (match it.psig_desc with
+          | Psig_attribute a -> host ~whole_file:true it.psig_loc [ a ]
+          | _ -> ());
+          super.signature_item self it) }
+  in
+  (match src.Source.ast with
+  | Source.Structure str -> iter.Ast_iterator.structure iter str
+  | Source.Signature sg -> iter.Ast_iterator.signature iter sg);
+  (!scopes, !bad)
+
+let split_ws line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let parse_entries ~path text =
+  let entries = ref [] and bad = ref [] in
+  List.iteri
+    (fun i line ->
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      match split_ws line with
+      | [] -> ()
+      | rule :: file :: symbol :: (_ :: _ as reason) ->
+        entries :=
+          { e_rule = rule;
+            e_path = file;
+            e_symbol = symbol;
+            e_reason = String.concat " " reason }
+          :: !entries
+      | _ ->
+        bad :=
+          { Diag.rule = "LINT";
+            file = path;
+            line = i + 1;
+            col = 0;
+            symbol = "";
+            message =
+              "malformed allowlist line (want: RULE PATH SYMBOL REASON...)" }
+          :: !bad)
+    (String.split_on_char '\n' text);
+  (List.rev !entries, List.rev !bad)
+
+let load_file path =
+  if not (Sys.file_exists path) then ([], [])
+  else begin
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    parse_entries ~path text
+  end
+
+let path_matches ~pattern file =
+  pattern = file
+  ||
+  let suffix = "/" ^ pattern in
+  let n = String.length suffix and m = String.length file in
+  m >= n && String.sub file (m - n) n = suffix
+
+let suppressed ~scopes ~entries (d : Diag.t) =
+  List.exists
+    (fun s ->
+      (s.s_rule = "*" || s.s_rule = d.Diag.rule)
+      && s.s_file = d.Diag.file
+      && d.Diag.line >= s.s_line_start
+      && d.Diag.line <= s.s_line_end)
+    scopes
+  || List.exists
+       (fun e ->
+         (e.e_rule = "*" || e.e_rule = d.Diag.rule)
+         && path_matches ~pattern:e.e_path d.Diag.file
+         && (e.e_symbol = "*" || e.e_symbol = d.Diag.symbol))
+       entries

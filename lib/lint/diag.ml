@@ -1,0 +1,32 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  symbol : string;
+  message : string;
+}
+
+let make ~rule ~file ?(symbol = "") (loc : Location.t) message =
+  let p = loc.Location.loc_start in
+  { rule;
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    symbol;
+    message }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match Int.compare a.col b.col with
+      | 0 -> String.compare a.rule b.rule
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d: [%s] %s%s" d.file d.line d.col d.rule d.message
+    (if d.symbol = "" then "" else Printf.sprintf " (in %s)" d.symbol)

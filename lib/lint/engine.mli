@@ -1,0 +1,14 @@
+(** Running rules over sources and applying the suppression channels. *)
+
+val rules : Rule.t list
+(** The full catalog, in display order. *)
+
+val find_rule : string -> Rule.t option
+
+val run :
+  ?entries:Allow.entry list -> ?rules:Rule.t list -> Source.t list ->
+  Diag.t list
+(** [run ?entries ?rules sources] checks the sources, drops findings
+    covered by an attribute scope or allowlist entry, appends
+    malformed-suppression [LINT] diagnostics, and returns the result in
+    deterministic (file, line, col, rule) order. *)

@@ -1,0 +1,83 @@
+type format = Text | Json
+
+let format_of_string = function
+  | "text" -> Some Text
+  | "json" -> Some Json
+  | _ -> None
+
+let json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let render_text ~files ~errors diags =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (path, msg) ->
+      Buffer.add_string buf (Printf.sprintf "%s: parse error\n%s\n" path msg))
+    errors;
+  List.iter
+    (fun d ->
+      Buffer.add_string buf (Diag.to_string d);
+      Buffer.add_char buf '\n')
+    diags;
+  Buffer.add_string buf
+    (Printf.sprintf "pqtls-lint: %d file%s checked, %d violation%s%s\n" files
+       (if files = 1 then "" else "s")
+       (List.length diags)
+       (if List.length diags = 1 then "" else "s")
+       (match List.length errors with
+       | 0 -> ""
+       | n -> Printf.sprintf ", %d parse error%s" n (if n = 1 then "" else "s")));
+  Buffer.contents buf
+
+let render_json ~files ~errors diags =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"pqtls-lint/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"files\": %d,\n" files);
+  Buffer.add_string buf "  \"violations\": [";
+  List.iteri
+    (fun i (d : Diag.t) ->
+      Buffer.add_string buf (if i = 0 then "\n" else ",\n");
+      Buffer.add_string buf "    { \"rule\": ";
+      json_string buf d.Diag.rule;
+      Buffer.add_string buf ", \"file\": ";
+      json_string buf d.Diag.file;
+      Buffer.add_string buf (Printf.sprintf ", \"line\": %d" d.Diag.line);
+      Buffer.add_string buf (Printf.sprintf ", \"col\": %d" d.Diag.col);
+      Buffer.add_string buf ", \"symbol\": ";
+      json_string buf d.Diag.symbol;
+      Buffer.add_string buf ", \"message\": ";
+      json_string buf d.Diag.message;
+      Buffer.add_string buf " }")
+    diags;
+  if diags <> [] then Buffer.add_string buf "\n  ";
+  Buffer.add_string buf "],\n  \"errors\": [";
+  List.iteri
+    (fun i (path, msg) ->
+      Buffer.add_string buf (if i = 0 then "\n" else ",\n");
+      Buffer.add_string buf "    { \"file\": ";
+      json_string buf path;
+      Buffer.add_string buf ", \"message\": ";
+      json_string buf msg;
+      Buffer.add_string buf " }")
+    errors;
+  if errors <> [] then Buffer.add_string buf "\n  ";
+  Buffer.add_string buf "]\n}\n";
+  Buffer.contents buf
+
+let render fmt ~files ~errors diags =
+  match fmt with
+  | Text -> render_text ~files ~errors diags
+  | Json -> render_json ~files ~errors diags

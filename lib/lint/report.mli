@@ -1,0 +1,17 @@
+(** Rendering a lint run for people ([text]) and for CI ([json]). Both
+    renderings are pure functions of the (already sorted) inputs, so a
+    lint report is as reproducible as the artifacts it protects. *)
+
+type format = Text | Json
+
+val format_of_string : string -> format option
+
+val render :
+  format ->
+  files:int ->
+  errors:(string * string) list ->
+  Diag.t list ->
+  string
+(** [errors] are parse failures (path, message). The JSON rendering uses
+    schema [pqtls-lint/1]:
+    [{ "schema", "files", "violations": [...], "errors": [...] }]. *)

@@ -1,0 +1,5 @@
+type t = {
+  name : string;
+  synopsis : string;
+  check : Source.t list -> Diag.t list;
+}

@@ -1,0 +1,10 @@
+(** The rule interface: a named check over the whole set of parsed
+    sources. Rules see every file at once so project-level properties
+    (like "each [.ml] has an [.mli]") are ordinary rules, not special
+    cases in the engine. *)
+
+type t = {
+  name : string; (* "D1", "C1", ... *)
+  synopsis : string; (* one line, shown by `pqtls-lint rules` *)
+  check : Source.t list -> Diag.t list;
+}

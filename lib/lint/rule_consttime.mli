@@ -1,0 +1,9 @@
+(** C1 — constant-time comparisons. In [lib/crypto], [lib/pqc] and
+    [lib/tls], byte-string comparison must go through
+    [Bytesx.equal_ct]: [String.equal]/[Bytes.equal] (and their
+    [compare]s) are banned outright, as is polymorphic [=]/[<>]/
+    [compare] applied to a string literal — both short-circuit on the
+    first differing byte and leak the match length through timing.
+    Comparisons of public, non-secret strings suppress with a reason. *)
+
+val rule : Rule.t

@@ -1,0 +1,9 @@
+(** S1 — module-level mutable state. A [ref]/[Hashtbl.create]/
+    [Array.make]/... evaluated at module-initialization time in [lib/]
+    is shared by every domain of a parallel campaign; each such site
+    must either be guarded (mutex, atomic, domain-local storage) or be
+    an init-once constant — and must say which, via a suppression
+    reason. Creations under [fun]/[function]/[lazy] are per-call and
+    exempt. *)
+
+val rule : Rule.t

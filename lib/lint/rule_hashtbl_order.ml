@@ -1,0 +1,73 @@
+open Parsetree
+
+let is_enumerator = function
+  | Some ("Hashtbl.iter" | "Hashtbl.fold") -> true
+  | _ -> false
+
+let is_sort = function
+  | Some
+      ( "List.sort" | "List.stable_sort" | "List.fast_sort"
+      | "List.sort_uniq" | "Array.sort" | "Array.stable_sort" ) ->
+    true
+  | _ -> false
+
+(* A fold is fine when a sort consumes it in the same expression; we
+   mark those call sites in a first pass, then flag every unmarked
+   enumeration. *)
+let check sources =
+  List.concat_map
+    (fun (src : Source.t) ->
+      match src.Source.ast with
+      | Source.Signature _ -> []
+      | Source.Structure str ->
+        let sorted = ref [] in
+        let mark e =
+          if is_enumerator (Walk.app_head e) then
+            sorted := e.pexp_loc :: !sorted
+        in
+        Walk.iter_expressions str (fun ~symbol:_ e ->
+            match e.pexp_desc with
+            | Pexp_apply (f, args) when is_sort (Walk.ident f) ->
+              List.iter (fun (_, a) -> mark a) args
+            | Pexp_apply (op, [ (_, lhs); (_, rhs) ]) -> (
+              match Walk.ident op with
+              | Some "|>" when is_sort (Walk.app_head rhs) -> mark lhs
+              | Some "@@" when is_sort (Walk.app_head lhs) -> mark rhs
+              | _ -> ())
+            | _ -> ());
+        let out = ref [] in
+        Walk.iter_expressions str (fun ~symbol e ->
+            match Walk.ident e with
+            | Some (("Hashtbl.iter" | "Hashtbl.fold") as path) ->
+              let consumed =
+                (* the enumerator ident sits inside a marked (sorted)
+                   application *)
+                List.exists
+                  (fun loc ->
+                    String.equal loc.Location.loc_start.Lexing.pos_fname
+                      e.pexp_loc.Location.loc_start.Lexing.pos_fname
+                    && loc.Location.loc_start.Lexing.pos_cnum
+                       <= e.pexp_loc.Location.loc_start.Lexing.pos_cnum
+                    && e.pexp_loc.Location.loc_end.Lexing.pos_cnum
+                       <= loc.Location.loc_end.Lexing.pos_cnum)
+                  !sorted
+              in
+              if not consumed then
+                out :=
+                  Diag.make ~rule:"D2" ~file:src.Source.path ~symbol
+                    e.pexp_loc
+                    (path
+                   ^ " enumerates in hash-bucket order; sort the result \
+                      where it is produced (… |> List.sort cmp) or \
+                      suppress with a reason if order cannot escape")
+                  :: !out
+            | _ -> ());
+        !out)
+    sources
+
+let rule =
+  { Rule.name = "D2";
+    synopsis =
+      "Hashtbl.iter/fold results must be sorted at the producer before \
+       they can reach an artifact";
+    check }

@@ -1,0 +1,9 @@
+(** D2 — hash-order escape. [Hashtbl.iter]/[Hashtbl.fold] enumerate in
+    hash-bucket order, which is not part of any contract; a result built
+    in that order must be sorted before it can reach an artifact. The
+    rule accepts a fold that is syntactically consumed by a sort —
+    [Hashtbl.fold f h [] |> List.sort cmp] or
+    [List.sort cmp (Hashtbl.fold f h [])] — and flags every other use;
+    order-insensitive consumers suppress with a reason. *)
+
+val rule : Rule.t

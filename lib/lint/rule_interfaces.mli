@@ -1,0 +1,6 @@
+(** M1 — sealed modules. Every [.ml] under [lib/] must have a matching
+    [.mli]: an unsealed module leaks helpers and mutable internals into
+    the public surface, and interface drift is exactly how ad-hoc state
+    escapes review. *)
+
+val rule : Rule.t

@@ -1,0 +1,34 @@
+let banned =
+  [ "Unix.gettimeofday";
+    "Unix.time";
+    "Sys.time";
+    "Random.self_init";
+    "Random.State.make_self_init" ]
+
+let check sources =
+  List.concat_map
+    (fun (src : Source.t) ->
+      match src.Source.ast with
+      | Source.Signature _ -> []
+      | Source.Structure str ->
+        let out = ref [] in
+        Walk.iter_expressions str (fun ~symbol e ->
+            match Walk.ident e with
+            | Some path when List.mem path banned ->
+              out :=
+                Diag.make ~rule:"D1" ~file:src.Source.path ~symbol
+                  e.Parsetree.pexp_loc
+                  (path
+                 ^ " reads the wall clock; campaign results must depend \
+                    only on virtual time and the seed")
+                :: !out
+            | _ -> ());
+        !out)
+    sources
+
+let rule =
+  { Rule.name = "D1";
+    synopsis =
+      "wall-clock reads (Unix.gettimeofday, Sys.time, Random.self_init, \
+       ...) are quarantined to annotated health/progress sites";
+    check }

@@ -1,0 +1,72 @@
+type kind = Ml | Mli
+
+type ast =
+  | Structure of Parsetree.structure
+  | Signature of Parsetree.signature
+
+type t = { path : string; kind : kind; ast : ast }
+
+exception Parse_error of string * string
+
+let render_parse_exn path exn =
+  match Location.error_of_exn exn with
+  | Some (`Ok report) -> Format.asprintf "%a" Location.print_report report
+  | Some `Already_displayed | None ->
+    Printf.sprintf "%s: %s" path (Printexc.to_string exn)
+
+let parse_string ~path kind text =
+  let lexbuf = Lexing.from_string text in
+  Location.init lexbuf path;
+  lexbuf.Lexing.lex_curr_p <- { lexbuf.Lexing.lex_curr_p with pos_fname = path };
+  try
+    let ast =
+      match kind with
+      | Ml -> Structure (Parse.implementation lexbuf)
+      | Mli -> Signature (Parse.interface lexbuf)
+    in
+    { path; kind; ast }
+  with exn -> raise (Parse_error (path, render_parse_exn path exn))
+
+let kind_of_path path =
+  if Filename.check_suffix path ".mli" then Some Mli
+  else if Filename.check_suffix path ".ml" then Some Ml
+  else None
+
+let skip_dir name =
+  name = "_build" || name = "_opam" || (String.length name > 0 && name.[0] = '.')
+
+let scan paths =
+  let acc = ref [] in
+  let rec walk path =
+    if Sys.is_directory path then
+      Array.iter
+        (fun entry ->
+          let child = Filename.concat path entry in
+          if Sys.is_directory child then begin
+            if not (skip_dir entry) then walk child
+          end
+          else if kind_of_path entry <> None then acc := child :: !acc)
+        (Sys.readdir path)
+    else if kind_of_path path <> None then acc := path :: !acc
+  in
+  List.iter walk paths;
+  List.sort_uniq String.compare !acc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_paths paths =
+  let files = scan paths in
+  List.fold_left
+    (fun (ok, bad) path ->
+      match kind_of_path path with
+      | None -> (ok, bad)
+      | Some kind -> (
+        match parse_string ~path kind (read_file path) with
+        | src -> (src :: ok, bad)
+        | exception Parse_error (p, msg) -> (ok, (p, msg) :: bad)))
+    ([], []) files
+  |> fun (ok, bad) -> (List.rev ok, List.rev bad)

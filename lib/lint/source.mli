@@ -1,0 +1,27 @@
+(** Loading and parsing the files under analysis. Parsing uses the
+    compiler's own frontend (compiler-libs), so the linter accepts
+    exactly what the build accepts — no second grammar to maintain. *)
+
+type kind = Ml | Mli
+
+type ast =
+  | Structure of Parsetree.structure
+  | Signature of Parsetree.signature
+
+type t = { path : string; kind : kind; ast : ast }
+
+val parse_string : path:string -> kind -> string -> t
+(** Parse in-memory source, attributing locations to [path]. Raises
+    [Parse_error] on syntax errors. *)
+
+exception Parse_error of string * string (* path, rendered message *)
+
+val scan : string list -> string list
+(** Expand files/directories into the sorted list of [.ml]/[.mli] files
+    beneath them, skipping [_build], [.git] and other dotted directories.
+    Paths are returned with [/] separators, duplicates removed. *)
+
+val load_paths : string list -> t list * (string * string) list
+(** [load_paths paths] scans, reads and parses; returns the parsed
+    sources plus [(path, message)] for every file that failed to parse
+    (the caller turns those into exit code 2). *)

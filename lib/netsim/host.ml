@@ -45,10 +45,15 @@ let charge_async ?(op = "") t ~ms ~lib =
   account t lib ms;
   cpu_span t ~op ~lib start finish
 
+(* Sorted at the producer: biggest spender first, ties broken by name,
+   so neither the rendering nor the float sum below can see hash-bucket
+   order (float addition is not associative). *)
 let ledger t =
   Hashtbl.fold (fun lib ms acc -> (lib, ms) :: acc) t.ledger []
-  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+  |> List.sort (fun (la, a) (lb, b) ->
+         match Float.compare b a with 0 -> String.compare la lb | c -> c)
 
-let total_cpu_ms t = Hashtbl.fold (fun _ ms acc -> acc +. ms) t.ledger 0.
+let total_cpu_ms t =
+  List.fold_left (fun acc (_, ms) -> acc +. ms) 0. (ledger t)
 let charge_count t = t.charges
 let reset_ledger t = Hashtbl.reset t.ledger

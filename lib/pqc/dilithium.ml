@@ -32,6 +32,8 @@ let zetas =
     !r
   in
   Array.init 256 (fun i -> pow 1753 (bitrev8 i))
+[@@lint.allow "S1" "init-once NTT twiddle table; never written after \
+                    module init"]
 
 let inv256 =
   (* 256^-1 mod q *)

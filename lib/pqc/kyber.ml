@@ -30,6 +30,8 @@ let zetas =
     !r
   in
   Array.init 128 (fun i -> pow 17 (bitrev7 i))
+[@@lint.allow "S1" "init-once NTT twiddle table; never written after \
+                    module init"]
 
 let inv128 = 3303 (* 128^-1 mod q *)
 

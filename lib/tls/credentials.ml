@@ -4,7 +4,9 @@ type t = {
   alg : Pqc.Sigalg.t;
 }
 
-let cache : (string, t) Hashtbl.t = Hashtbl.create 32
+let cache : (string, t) Hashtbl.t =
+  Hashtbl.create 32
+[@@lint.allow "S1" "every access goes through cache_lock below"]
 
 (* the cache is shared across domains when campaigns run in parallel;
    generation is deterministic, so holding the lock while generating

@@ -33,7 +33,8 @@ let encode_hrr ~session_id ~group =
     { M.sh_random = hrr_random; sh_session_id = session_id; sh_group = group;
       sh_key_share = "" }
 
-let is_hrr (sh : M.server_hello) = String.equal sh.M.sh_random hrr_random
+let is_hrr (sh : M.server_hello) =
+  Crypto.Bytesx.equal_ct sh.M.sh_random hrr_random
 
 
 (* ---- per-peer plumbing -------------------------------------------------- *)

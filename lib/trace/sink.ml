@@ -9,6 +9,8 @@
 
 let key : Buf.t option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
+[@@lint.allow "S1" "domain-local storage is the containment mechanism \
+                    itself; each domain sees only its own slot"]
 
 let current () = !(Domain.DLS.get key)
 let enabled () = current () <> None

@@ -4,6 +4,14 @@
    and both emit one cpu span carrying its library bucket — so these
    sums must agree with the Host ledgers to float rounding. *)
 
+(* Sorted at the producer — biggest spender first, ties by name — the
+   same order contract as Netsim.Host.ledger, so consumers never see
+   (or depend on re-sorting away) hash-bucket order. *)
+let per_lib h =
+  Hashtbl.fold (fun lib ms acc -> (lib, ms) :: acc) h []
+  |> List.sort (fun (la, a) (lb, b) ->
+         match Float.compare b a with 0 -> String.compare la lb | c -> c)
+
 let cpu_ms_by_lib buf =
   let tracks : (string, (string, float) Hashtbl.t) Hashtbl.t =
     Hashtbl.create 4
@@ -29,14 +37,7 @@ let cpu_ms_by_lib buf =
         Hashtbl.replace per_lib lib (prev +. ms)
       | _ -> ());
   List.map
-    (fun track ->
-      let per_lib = Hashtbl.find tracks track in
-      let libs =
-        Hashtbl.fold (fun lib ms acc -> (lib, ms) :: acc) per_lib []
-        |> List.sort (fun (la, a) (lb, b) ->
-               match Float.compare b a with 0 -> compare la lb | c -> c)
-      in
-      (track, libs))
+    (fun track -> (track, per_lib (Hashtbl.find tracks track)))
     (List.rev !track_order)
 
 let shares per_lib =

@@ -5,6 +5,11 @@
     per-host ledgers that {!Core.Whitebox} reports — the cross-check
     that turns the white-box table into a view over the trace stream. *)
 
+val per_lib : (string, float) Hashtbl.t -> (string * float) list
+(** Extract a per-library ms table in the canonical artifact order —
+    descending cost, ties by name — so hash-bucket order never escapes
+    the producer. Same order contract as [Netsim.Host.ledger]. *)
+
 val cpu_ms_by_lib : Buf.t -> (string * (string * float) list) list
 (** Per track (host), total CPU milliseconds per library, descending by
     cost. Tracks in order of first appearance. *)

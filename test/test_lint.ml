@@ -1,0 +1,235 @@
+(* pqtls-lint: one bad and one good fixture per rule (each rule fires
+   exactly on its bad fixture and stays quiet on the good one), the two
+   suppression channels, and a repo-wide clean-run assertion — the same
+   invariant CI enforces with the real binary. *)
+
+let parse path text = Lint.Source.parse_string ~path Lint.Source.Ml text
+
+let run ?entries ?rules srcs = Lint.Engine.run ?entries ?rules srcs
+
+let rules_fired diags =
+  List.sort_uniq String.compare
+    (List.map (fun d -> d.Lint.Diag.rule) diags)
+
+(* every fixture lives at lib/fixture/..., which is inside lib/ (S1
+   scope) but outside lib/{crypto,pqc,tls} (C1 scope) and always has a
+   phantom .mli companion so M1 stays quiet unless it is the rule under
+   test *)
+let with_mli path srcs =
+  Lint.Source.
+    { path = path ^ "i"; kind = Mli; ast = Signature [] }
+  :: srcs
+
+let run_with_mli path text = run (with_mli path [ parse path text ])
+
+let test_d1 () =
+  let bad = "let stamp () = Unix.gettimeofday ()\nlet t = Sys.time ()" in
+  let diags = run_with_mli "lib/fixture/d1_bad.ml" bad in
+  Alcotest.(check (list string)) "both wall-clock reads fire" [ "D1"; "D1" ]
+    (List.map (fun d -> d.Lint.Diag.rule) diags);
+  Alcotest.(check string) "symbol is the enclosing binding" "stamp"
+    (List.hd diags).Lint.Diag.symbol;
+  let good = "let stamp engine = Engine.now engine" in
+  Alcotest.(check (list string)) "virtual time is clean" []
+    (rules_fired (run_with_mli "lib/fixture/d1_good.ml" good))
+
+let test_d2 () =
+  let bad = "let pairs h = Hashtbl.fold (fun k v a -> (k, v) :: a) h []" in
+  Alcotest.(check (list string)) "unsorted fold escape fires" [ "D2" ]
+    (rules_fired (run_with_mli "lib/fixture/d2_bad.ml" bad));
+  let bad_iter = "let dump h = Hashtbl.iter (fun k _ -> print_string k) h" in
+  Alcotest.(check (list string)) "hash-order iter fires" [ "D2" ]
+    (rules_fired (run_with_mli "lib/fixture/d2_iter.ml" bad_iter));
+  let good =
+    "let pairs h =\n\
+    \  Hashtbl.fold (fun k v a -> (k, v) :: a) h [] |> List.sort compare\n\
+     let pairs2 h =\n\
+    \  List.sort compare (Hashtbl.fold (fun k v a -> (k, v) :: a) h [])"
+  in
+  Alcotest.(check (list string)) "sorted-at-producer folds are clean" []
+    (rules_fired (run_with_mli "lib/fixture/d2_good.ml" good))
+
+let test_c1 () =
+  let bad =
+    "let check tag expected = String.equal tag expected\n\
+     let is_magic s = s = \"magic\""
+  in
+  let path = "lib/crypto/c1_bad.ml" in
+  Alcotest.(check (list string)) "both comparisons fire" [ "C1"; "C1" ]
+    (List.map
+       (fun d -> d.Lint.Diag.rule)
+       (run (with_mli path [ parse path bad ])))
+  ;
+  let good = "let check tag expected = Bytesx.equal_ct tag expected" in
+  let path = "lib/crypto/c1_good.ml" in
+  Alcotest.(check (list string)) "equal_ct is clean" []
+    (rules_fired (run (with_mli path [ parse path good ])));
+  (* same bad text outside lib/{crypto,pqc,tls} is out of scope *)
+  Alcotest.(check (list string)) "C1 scope stops at the crypto layers" []
+    (rules_fired (run_with_mli "lib/fixture/c1_elsewhere.ml" bad))
+
+let test_s1 () =
+  let bad = "let cache = Hashtbl.create 8" in
+  Alcotest.(check (list string)) "module-level mutable state fires" [ "S1" ]
+    (rules_fired (run_with_mli "lib/fixture/s1_bad.ml" bad));
+  let good =
+    "let make () = Hashtbl.create 8\nlet lazy_tbl = lazy (Hashtbl.create 8)"
+  in
+  Alcotest.(check (list string)) "per-call creation is clean" []
+    (rules_fired (run_with_mli "lib/fixture/s1_good.ml" good));
+  (* the same text outside lib/ is out of scope *)
+  let diags = run [ parse "bench/s1_elsewhere.ml" bad ] in
+  Alcotest.(check (list string)) "S1 scope is lib/ only" []
+    (rules_fired diags)
+
+let test_m1 () =
+  let ml = "let answer = 42" in
+  Alcotest.(check (list string)) "missing .mli fires" [ "M1" ]
+    (rules_fired (run [ parse "lib/fixture/m1_bad.ml" ml ]));
+  Alcotest.(check (list string)) ".mli present is clean" []
+    (rules_fired (run_with_mli "lib/fixture/m1_good.ml" ml));
+  Alcotest.(check (list string)) "M1 scope is lib/ only" []
+    (rules_fired (run [ parse "bin/m1_elsewhere.ml" ml ]))
+
+let test_attribute_suppression () =
+  let text =
+    "let stamp () =\n\
+    \  (Unix.gettimeofday () [@lint.allow \"D1\" \"test fixture\"])"
+  in
+  Alcotest.(check (list string)) "annotated site is suppressed" []
+    (rules_fired (run_with_mli "lib/fixture/attr.ml" text));
+  let binding =
+    "let cache = Hashtbl.create 8 [@@lint.allow \"S1\" \"guarded\"]"
+  in
+  Alcotest.(check (list string)) "binding attribute is suppressed" []
+    (rules_fired (run_with_mli "lib/fixture/attr_binding.ml" binding));
+  let whole_file =
+    "[@@@lint.allow \"D1\" \"wall-clock test file\"]\n\
+     let a () = Unix.gettimeofday ()\n\
+     let b () = Sys.time ()"
+  in
+  Alcotest.(check (list string)) "floating attribute covers the file" []
+    (rules_fired (run_with_mli "lib/fixture/attr_file.ml" whole_file));
+  (* a reason is mandatory: its absence is itself a violation *)
+  let no_reason =
+    "let stamp () = (Unix.gettimeofday () [@lint.allow \"D1\"])"
+  in
+  Alcotest.(check (list string)) "reason-less suppression = LINT + D1"
+    [ "D1"; "LINT" ]
+    (rules_fired (run_with_mli "lib/fixture/attr_bad.ml" no_reason));
+  (* a suppression for rule X does not silence rule Y *)
+  let wrong_rule =
+    "let stamp () = (Unix.gettimeofday () [@lint.allow \"C1\" \"nope\"])"
+  in
+  Alcotest.(check (list string)) "wrong-rule suppression does not apply"
+    [ "D1" ]
+    (rules_fired (run_with_mli "lib/fixture/attr_wrong.ml" wrong_rule))
+
+let test_allowlist_file () =
+  let entries, bad =
+    Lint.Allow.parse_entries ~path:"lint.allow"
+      "# comment\n\n\
+       D1  lib/fixture/al.ml  stamp  health telemetry only\n\
+       S1  lib/fixture/al.ml  *      legacy state, tracked in #42\n\
+       garbage-line-without-enough-fields\n"
+  in
+  Alcotest.(check int) "two entries parsed" 2 (List.length entries);
+  Alcotest.(check int) "malformed line reported" 1 (List.length bad);
+  let text =
+    "let stamp () = Unix.gettimeofday ()\nlet cache = Hashtbl.create 8\n\
+     let other () = Sys.time ()"
+  in
+  let diags = run ~entries (with_mli "lib/fixture/al.ml"
+                              [ parse "lib/fixture/al.ml" text ]) in
+  (* stamp's D1 and any S1 are allowlisted; other's D1 survives *)
+  Alcotest.(check (list string)) "entries suppress by rule+path+symbol"
+    [ "D1" ] (rules_fired diags);
+  Alcotest.(check string) "the surviving site is the un-listed one" "other"
+    (List.hd diags).Lint.Diag.symbol;
+  (* suffix path matching: absolute paths match repo-relative entries *)
+  let abs = "/root/anywhere/lib/fixture/al.ml" in
+  let diags = run ~entries (with_mli abs [ parse abs text ]) in
+  Alcotest.(check (list string)) "entries match absolute paths by suffix"
+    [ "D1" ] (rules_fired diags)
+
+let test_rule_selection () =
+  let text = "let stamp () = Unix.gettimeofday ()\nlet c = Hashtbl.create 8" in
+  let d1 = Option.get (Lint.Engine.find_rule "D1") in
+  Alcotest.(check (list string)) "only the selected rule runs" [ "D1" ]
+    (rules_fired
+       (run ~rules:[ d1 ]
+          (with_mli "lib/fixture/sel.ml" [ parse "lib/fixture/sel.ml" text ])));
+  Alcotest.(check bool) "unknown rules are not found" true
+    (Lint.Engine.find_rule "Z9" = None)
+
+let test_report_json () =
+  let diags = run [ parse "lib/fixture/j_bad.ml" "let t = Sys.time ()" ] in
+  let json =
+    Lint.Report.render Lint.Report.Json ~files:1 ~errors:[] diags
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("json contains " ^ needle) true
+        (let n = String.length needle and m = String.length json in
+         let rec go i =
+           i + n <= m && (String.sub json i n = needle || go (i + 1))
+         in
+         go 0))
+    [ "\"schema\": \"pqtls-lint/1\""; "\"rule\": \"D1\""; "\"line\": 1";
+      "\"rule\": \"M1\"" ]
+
+(* The invariant CI enforces with the installed binary: the tree itself
+   is clean under the checked-in allowlist. Locate the repo root by
+   walking up out of _build; skip (rather than fail) when the test runs
+   detached from a checkout. *)
+let repo_root () =
+  match Sys.getenv_opt "PQTLS_LINT_ROOT" with
+  | Some r -> Some r
+  | None ->
+    let rec up dir =
+      let in_build path =
+        List.mem "_build" (String.split_on_char '/' path)
+      in
+      if Sys.file_exists (Filename.concat dir "dune-project")
+         && not (in_build dir)
+      then Some dir
+      else
+        let parent = Filename.dirname dir in
+        if parent = dir then None else up parent
+    in
+    up (Sys.getcwd ())
+
+let test_repo_clean () =
+  match repo_root () with
+  | None -> print_endline "no checkout found; skipping repo-wide lint"
+  | Some root ->
+    let paths =
+      List.map (Filename.concat root) [ "lib"; "bin"; "bench"; "test" ]
+    in
+    let sources, errors = Lint.Source.load_paths paths in
+    Alcotest.(check (list (pair string string))) "everything parses" []
+      errors;
+    Alcotest.(check bool) "the tree is there" true
+      (List.length sources > 100);
+    let entries, bad =
+      Lint.Allow.load_file (Filename.concat root "lint.allow")
+    in
+    Alcotest.(check int) "allowlist parses" 0 (List.length bad);
+    let diags = run ~entries sources in
+    Alcotest.(check (list string)) "repo-wide clean run" []
+      (List.map Lint.Diag.to_string diags)
+
+let suites =
+  [ ( "lint",
+      [ Alcotest.test_case "D1 wall clock" `Quick test_d1;
+        Alcotest.test_case "D2 hash order" `Quick test_d2;
+        Alcotest.test_case "C1 constant time" `Quick test_c1;
+        Alcotest.test_case "S1 global state" `Quick test_s1;
+        Alcotest.test_case "M1 interfaces" `Quick test_m1;
+        Alcotest.test_case "attribute suppression" `Quick
+          test_attribute_suppression;
+        Alcotest.test_case "allowlist file" `Quick test_allowlist_file;
+        Alcotest.test_case "rule selection" `Quick test_rule_selection;
+        Alcotest.test_case "json report" `Quick test_report_json;
+        Alcotest.test_case "repo-wide clean run" `Quick test_repo_clean ] )
+  ]

@@ -1,0 +1,1 @@
+let () = Alcotest.run "pqtls-lint" Test_lint.suites
