@@ -58,7 +58,7 @@ let list_cmd =
   let what_arg =
     let whats =
       [ ("experiments", `Experiments); ("kas", `Kas); ("sas", `Sas);
-        ("scenarios", `Scenarios) ]
+        ("scenarios", `Scenarios); ("workloads", `Workloads) ]
     in
     Arg.(
       value
@@ -66,7 +66,7 @@ let list_cmd =
       & info [] ~docv:"WHAT"
           ~doc:
             "What to list: $(b,experiments) (default), $(b,kas), \
-             $(b,sas), or $(b,scenarios).")
+             $(b,sas), $(b,scenarios), or $(b,workloads).")
   in
   let json_arg =
     Arg.(
@@ -148,13 +148,29 @@ let list_cmd =
                     ("jitter_s", Float n.Netsim.Link.jitter_s);
                     ("rate_bps", Float n.Netsim.Link.rate_bps) ])
               Core.Scenario.all))
+    | `Workloads, false ->
+      List.iter
+        (fun (w : Netsim.Workload.t) ->
+          Printf.printf "%-12s %-24s %s\n" w.name w.label w.description)
+        Netsim.Workload.all
+    | `Workloads, true ->
+      emit
+        (List
+           (List.map
+              (fun (w : Netsim.Workload.t) ->
+                Obj
+                  [ ("name", String w.name);
+                    ("label", String w.label);
+                    ("description", String w.description);
+                    ("peak", Float w.peak) ])
+              Netsim.Workload.all))
   in
   Cmd.v
     (Cmd.info "list"
        ~doc:
          "List the available experiments (Appendix B.6 schema), key \
-          agreements, signature algorithms, or network scenarios; \
-          $(b,--json) emits a machine-readable listing.")
+          agreements, signature algorithms, network scenarios, or farm \
+          arrival workloads; $(b,--json) emits a machine-readable listing.")
     Term.(const run $ what_arg $ json_arg)
 
 (* ---- run ----------------------------------------------------------------- *)
@@ -251,7 +267,8 @@ let run_cmd =
       close_out oc;
       (* the notice goes to stderr: stdout stays bit-identical *)
       Printf.eprintf "wrote %s (%d cells)\n%!" path
-        (List.length artifact.Core.Metrics.a_cells));
+        (List.length artifact.Core.Metrics.a_cells
+        + List.length artifact.Core.Metrics.a_farm_cells));
     (* the health summary goes to stderr: stdout stays bit-identical
        across --jobs and runs *)
     let failed = Core.Exec.failed_count exec in
@@ -342,7 +359,8 @@ let compare_cmd =
           let issues = Core.Metrics.diff ~rel_tol b (load cand) in
           show (base ^ " vs " ^ cand) issues
             (Printf.sprintf "%s and %s agree (%d cells)" base cand
-               (List.length b.Core.Metrics.p_cells))
+               (List.length b.Core.Metrics.p_cells
+               + List.length b.Core.Metrics.p_farm_cells))
         | _ ->
           Printf.eprintf
             "error: compare takes exactly two artifacts (or any number \

@@ -130,6 +130,11 @@ let entries :
      fun ?seed ?exec () -> all_sphincs_report ?seed ?exec ());
     ("attack", "Section 5.5 asymmetry survey",
      fun ?seed ?exec () -> Report.attack ?seed ?exec ());
+    ("farm", "Table 5 campaign: server-farm capacity, tail latency and \
+              adversarial mix",
+     fun ?seed ?exec () -> Report.table5 ?seed ?exec ());
+    ("farm-smoke", "Table 5 campaign at CI smoke size",
+     fun ?seed ?exec () -> Report.table5_smoke ?seed ?exec ());
     ("ablation-buffer", "BIO buffer-limit sweep",
      fun ?seed ?exec () -> Report.ablation_buffer ?seed ?exec ());
     ("ablation-cwnd", "initial congestion-window sweep",
@@ -143,7 +148,8 @@ let aliases =
   [ ("table2a", "all-kem");
     ("table2b", "all-sig");
     ("table4a", "all-kem-scenarios");
-    ("table4b", "all-sig-scenarios") ]
+    ("table4b", "all-sig-scenarios");
+    ("table5", "farm") ]
 
 let names = List.map (fun (n, _, _) -> n) entries
 

@@ -216,6 +216,120 @@ let cell t spec =
   | [ r ] -> r
   | _ -> assert false
 
+(* ---- farm cells ---------------------------------------------------------- *)
+
+type farm_cell_result = (Experiment.farm_outcome, cell_error) result
+
+let attempt_farm_spec spec k =
+  if k = 0 then spec
+  else
+    { spec with
+      Experiment.fa_seed =
+        Printf.sprintf "%s#retry%d" spec.Experiment.fa_seed k }
+
+let run_farm_cell t spec =
+  let t0 =
+    (Unix.gettimeofday () [@lint.allow "D1" "cell_error elapsed time is \
+                                             operator telemetry, not part \
+                                             of any artifact"])
+  in
+  let rec attempt k =
+    match
+      (match t.fail_cell with
+      | Some needle when contains ~needle (Experiment.farm_spec_label spec) ->
+        failwith
+          ("injected failure for " ^ Experiment.farm_spec_label spec)
+      | _ -> ());
+      Experiment.run_farm_spec (attempt_farm_spec spec k)
+    with
+    | o ->
+      Atomic.incr t.counters.c_ok;
+      if k > 0 then Atomic.incr t.counters.c_retried;
+      Ok o
+    | exception e ->
+      let bt = Printexc.get_backtrace () in
+      if k < t.retries then attempt (k + 1)
+      else begin
+        Atomic.incr t.counters.c_failed;
+        Error
+          { ce_message = Printexc.to_string e;
+            ce_backtrace = bt;
+            ce_attempts = k + 1;
+            ce_elapsed_s =
+              (Unix.gettimeofday () [@lint.allow "D1" "cell_error elapsed \
+                                                       time; telemetry \
+                                                       only"])
+              -. t0 }
+      end
+  in
+  attempt 0
+
+(* the farm counterpart of [cells]: same cache / retry / fail-injection
+   / metrics-in-spec-order contract. Farm cells are not traced — one
+   cell spans thousands of handshakes, so a per-cell event buffer would
+   dwarf the trace store; the single-pair cells cover tracing needs. *)
+let farm_cells t specs =
+  let run spec =
+    let t0 =
+      (Unix.gettimeofday () [@lint.allow "D1" "cell_wall_s self-telemetry; \
+                                               feeds the health summary \
+                                               only"])
+    in
+    let result =
+      match t.cache with
+      | None -> (run_farm_cell t spec, `Miss)
+      | Some c -> (
+        let k = Result_cache.farm_key c spec in
+        match Result_cache.find_farm c k with
+        | Some o ->
+          Atomic.incr t.counters.c_ok;
+          (Ok o, `Hit)
+        | None ->
+          let r = run_farm_cell t spec in
+          (match r with
+          | Ok o -> Result_cache.store_farm c k o
+          | Error _ -> ());
+          (r, `Miss))
+    in
+    Metrics.observe t.metrics "cell_wall_s"
+      ((Unix.gettimeofday () [@lint.allow "D1" "cell_wall_s self-telemetry; \
+                                                feeds the health summary \
+                                                only"])
+      -. t0);
+    Metrics.incr t.metrics
+      (match snd result with
+      | `Hit -> "cells_from_cache"
+      | `Miss -> "cells_executed");
+    result
+  in
+  let on_done =
+    if not t.progress then None
+    else
+      Some
+        (fun ~index:_ ~completed ~total spec (r, status) elapsed ->
+          let note =
+            match (r, status) with
+            | Ok _, `Hit -> "  (cached)"
+            | Ok _, `Miss -> ""
+            | Error e, _ ->
+              Printf.sprintf "  FAILED after %d attempt%s: %s" e.ce_attempts
+                (if e.ce_attempts = 1 then "" else "s")
+                e.ce_message
+          in
+          Printf.eprintf "  [%*d/%d] %-45s %6.2fs%s\n%!"
+            (String.length (string_of_int total))
+            completed total
+            (Experiment.farm_spec_label spec)
+            elapsed note)
+  in
+  let results = Pool.map ~jobs:t.jobs ?on_done run specs in
+  List.iter2
+    (fun spec (r, _status) ->
+      Metrics.record_farm_cell t.metrics spec
+        (Result.map_error (fun e -> e.ce_message) r))
+    specs results;
+  List.map fst results
+
 let ok_count t = Atomic.get t.counters.c_ok
 let retried_count t = Atomic.get t.counters.c_retried
 let failed_count t = Atomic.get t.counters.c_failed

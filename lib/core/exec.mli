@@ -85,6 +85,16 @@ val cells : t -> Experiment.spec list -> cell_result list
 
 val cell : t -> Experiment.spec -> cell_result
 
+type farm_cell_result = (Experiment.farm_outcome, cell_error) result
+
+val farm_cells : t -> Experiment.farm_spec list -> farm_cell_result list
+(** {!cells} for server-farm grids: same cache (separate [.farm]
+    entries), same retry reseeding through [fa_seed], same fault
+    injection (matched against {!Experiment.farm_spec_label}), and farm
+    summaries recorded via {!Metrics.record_farm_cell} in spec order.
+    Farm cells are never traced: one cell spans thousands of handshakes,
+    so per-event buffers belong to the single-pair campaigns. *)
+
 val ok_count : t -> int
 (** Cells that completed (first try, retry, or cache hit). *)
 

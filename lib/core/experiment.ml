@@ -274,3 +274,263 @@ let median_of f outcome = Stats.median (List.map f outcome.samples)
 
 let median_bytes f outcome =
   int_of_float (Stats.median_int (List.map f outcome.samples))
+
+(* ---- server-farm cells (Table 5) ---------------------------------------- *)
+
+type farm_spec = {
+  fa_kem : Pqc.Kem.t;
+  fa_sig : Pqc.Sigalg.t;
+  fa_scenario : Scenario.t;
+  fa_profile : string;
+  fa_policy : string;
+  fa_servers : int;
+  fa_max_concurrent : int;
+  fa_accept_queue : int;
+  fa_utilization : float;
+  fa_duration_s : float;
+  fa_max_connections : int;
+  fa_adv_fraction : float;
+  fa_adv_kem : Pqc.Kem.t;
+  fa_seed : string;
+}
+
+type farm_outcome = {
+  fo_kem_name : string;
+  fo_sig_name : string;
+  fo_scenario_name : string;
+  fo_profile : string;
+  fo_policy : string;
+  fo_servers : int;
+  fo_utilization : float;
+  fo_capacity_hs_s : float;
+  fo_offered_rate : float;
+  fo_window_s : float;
+  fo_offered : int;
+  fo_completed : int;
+  fo_dropped : int;
+  fo_unfinished : int;
+  fo_latencies_ms : float list;
+  fo_wait_ms : float list;
+  fo_server_cpu_ms : float;
+  fo_server_busy : float;
+  fo_server_ledger : (string * float) list;
+  fo_per_server_completed : int list;
+  fo_adv_launched : int;
+  fo_adv_completed : int;
+  fo_adv_client_bytes : int;
+  fo_adv_server_bytes : int;
+  fo_benign_client_bytes : int;
+  fo_benign_server_bytes : int;
+  fo_cal_client_cpu_ms : float;
+  fo_cal_server_cpu_ms : float;
+  fo_cal_adv_server_cpu_ms : float;
+}
+
+let farm_spec ?(scenario = Scenario.no_emulation) ?(profile = "poisson")
+    ?(policy = "least-connections") ?(servers = 3) ?(max_concurrent = 64)
+    ?(accept_queue = 128) ?(utilization = 0.9) ?(duration_s = 1.)
+    ?(max_connections = 1200) ?(adv_fraction = 0.)
+    ?(adv_kem = Pqc.Registry.baseline_kem) ?(seed = "pqtls") kem sig_alg =
+  (* validate eagerly so a typo fails at grid-build time, not mid-cell *)
+  ignore (Netsim.Workload.find profile);
+  ignore (Netsim.Balancer.policy_of_name policy);
+  { fa_kem = kem;
+    fa_sig = sig_alg;
+    fa_scenario = scenario;
+    fa_profile = profile;
+    fa_policy = policy;
+    fa_servers = servers;
+    fa_max_concurrent = max_concurrent;
+    fa_accept_queue = accept_queue;
+    fa_utilization = utilization;
+    fa_duration_s = duration_s;
+    fa_max_connections = max_connections;
+    fa_adv_fraction = adv_fraction;
+    fa_adv_kem = adv_kem;
+    fa_seed = seed }
+
+let farm_spec_label sp =
+  Printf.sprintf "farm %s x %s @ %s/%s u=%.2f%s" sp.fa_kem.Pqc.Kem.name
+    sp.fa_sig.Pqc.Sigalg.name sp.fa_scenario.Scenario.name sp.fa_profile
+    sp.fa_utilization
+    (if sp.fa_adv_fraction > 0. then
+       Printf.sprintf " adv=%.0f%%" (100. *. sp.fa_adv_fraction)
+     else "")
+
+let farm_spec_fingerprint sp =
+  let netem = sp.fa_scenario.Scenario.netem in
+  Printf.sprintf
+    "farm-v1|kem=%s|sig=%s|scenario=%s|loss=%h|loss_towards=%s|delay=%h|jitter=%h|rate=%h|profile=%s|policy=%s|servers=%d|conc=%d|queue=%d|util=%h|duration=%h|maxconn=%d|adv=%h|advkem=%s|seed=%s"
+    sp.fa_kem.Pqc.Kem.name sp.fa_sig.Pqc.Sigalg.name
+    sp.fa_scenario.Scenario.name netem.Netsim.Link.loss
+    (Option.value ~default:"-" netem.Netsim.Link.loss_towards)
+    netem.Netsim.Link.delay_s netem.Netsim.Link.jitter_s
+    netem.Netsim.Link.rate_bps sp.fa_profile sp.fa_policy sp.fa_servers
+    sp.fa_max_concurrent sp.fa_accept_queue sp.fa_utilization
+    sp.fa_duration_s sp.fa_max_connections sp.fa_adv_fraction
+    sp.fa_adv_kem.Pqc.Kem.name sp.fa_seed
+
+(* per-iteration harness charges of the closed-loop calibration run that
+   a farm server never pays: measurement-loop python + libc plus the nic
+   driver touch (see [run_spec_traced]) *)
+let harness_overhead_ms = harness_python_ms +. harness_libc_ms +. 0.06
+
+(* per-handshake CPU of one side under this KA x SA x scenario, from a
+   short closed-loop run with the harness overhead removed — the service
+   rate behind "sustainable capacity" *)
+let calibrate sp ~kem ~seed =
+  let o =
+    run_spec
+      (spec ~scenario:sp.fa_scenario ~duration_s:30. ~max_samples:8 ~seed kem
+         sp.fa_sig)
+  in
+  ( Float.max 0.001 (o.client_cpu_ms -. harness_overhead_ms),
+    Float.max 0.001 (o.server_cpu_ms -. harness_overhead_ms) )
+
+let run_farm_spec sp =
+  let cal_client, cal_server =
+    calibrate sp ~kem:sp.fa_kem ~seed:(sp.fa_seed ^ "/cal")
+  in
+  let _, cal_adv_server =
+    if sp.fa_adv_fraction > 0. then
+      calibrate sp ~kem:sp.fa_adv_kem ~seed:(sp.fa_seed ^ "/cal-adv")
+    else (cal_client, cal_server)
+  in
+  (* one core per server: CPU-sustainable capacity of the whole farm *)
+  let capacity = float_of_int sp.fa_servers *. 1000. /. cal_server in
+  let rate = sp.fa_utilization *. capacity in
+  (* preserve the profile shape under the connection cap by shrinking
+     the window instead of truncating the stream's tail *)
+  let window =
+    Float.min sp.fa_duration_s (float_of_int sp.fa_max_connections /. rate)
+  in
+  let engine = Netsim.Engine.create () in
+  let root_rng =
+    Crypto.Drbg.create
+      ~seed:
+        (Printf.sprintf "%s/farm/%s/%s/%s/%s/%s" sp.fa_seed
+           sp.fa_kem.Pqc.Kem.name sp.fa_sig.Pqc.Sigalg.name
+           sp.fa_scenario.Scenario.name sp.fa_profile sp.fa_policy)
+  in
+  let profile = Netsim.Workload.find sp.fa_profile in
+  let arrivals =
+    Netsim.Workload.arrivals profile
+      ~rng:(Crypto.Drbg.fork root_rng "arrivals")
+      ~rate ~duration_s:window
+  in
+  let server_hosts =
+    Array.init sp.fa_servers (fun i ->
+        Netsim.Host.create engine ~name:(Printf.sprintf "server%d" i))
+  in
+  let benign_config = Tls.Config.mocked sp.fa_kem sp.fa_sig in
+  let adv_config = Tls.Config.mocked sp.fa_adv_kem sp.fa_sig in
+  let adv_launched = ref 0 and adv_completed = ref 0 in
+  let adv_cb = ref 0 and adv_sb = ref 0 in
+  let ben_cb = ref 0 and ben_sb = ref 0 in
+  let farm_config =
+    { Netsim.Farm.servers = sp.fa_servers;
+      max_concurrent = sp.fa_max_concurrent;
+      accept_queue = sp.fa_accept_queue;
+      policy = Netsim.Balancer.policy_of_name sp.fa_policy }
+  in
+  let farm =
+    Netsim.Farm.create ~engine ~config:farm_config ~arrivals
+      ~launch:(fun ~server ~conn ~finished ->
+        let rng = Crypto.Drbg.fork root_rng (string_of_int conn) in
+        let adversarial =
+          sp.fa_adv_fraction > 0.
+          && Crypto.Drbg.float rng < sp.fa_adv_fraction
+        in
+        if adversarial then incr adv_launched;
+        let server_host = server_hosts.(server) in
+        (* every client is its own machine: one fresh single-core host
+           per connection, all named "client" so directional netem loss
+           ([loss_towards]) applies exactly as in the single-pair cells *)
+        let client_host = Netsim.Host.create engine ~name:"client" in
+        let link =
+          Netsim.Link.create engine
+            (Crypto.Drbg.fork rng "link")
+            sp.fa_scenario.Scenario.netem
+            ~tap:(fun _ _ -> ())
+        in
+        Netsim.Host.charge_async server_host
+          ~op:Pqc.Costs.connection_setup.Pqc.Costs.label
+          ~ms:Pqc.Costs.connection_setup.Pqc.Costs.ms ~lib:"kernel";
+        Tls.Handshake.run ~engine ~link
+          ~tcp_config:Netsim.Tcp.default_config ~client_host ~server_host
+          ~config:(if adversarial then adv_config else benign_config)
+          ~rng ~on_done:(fun r ->
+            let cb = Netsim.Tcp.bytes_sent r.Tls.Handshake.client_tcp in
+            let sb = Netsim.Tcp.bytes_sent r.Tls.Handshake.server_tcp in
+            if adversarial then begin
+              incr adv_completed;
+              adv_cb := !adv_cb + cb;
+              adv_sb := !adv_sb + sb
+            end
+            else begin
+              ben_cb := !ben_cb + cb;
+              ben_sb := !ben_sb + sb
+            end;
+            Netsim.Tcp.close r.Tls.Handshake.client_tcp;
+            Netsim.Tcp.close r.Tls.Handshake.server_tcp;
+            finished ()))
+  in
+  (* bounded drain: everything admitted normally completes well before
+     this horizon; what is still in flight is reported as unfinished *)
+  Netsim.Engine.run engine ~until:(window +. 60.);
+  let span = Float.max (Netsim.Engine.now engine) 1e-9 in
+  let server_cpu_ms =
+    Array.fold_left
+      (fun acc h -> acc +. Netsim.Host.total_cpu_ms h)
+      0. server_hosts
+  in
+  let merged_ledger =
+    let tbl = Hashtbl.create 8 in
+    Array.iter
+      (fun h ->
+        List.iter
+          (fun (lib, ms) ->
+            Hashtbl.replace tbl lib
+              (ms +. Option.value ~default:0. (Hashtbl.find_opt tbl lib)))
+          (Netsim.Host.ledger h))
+      server_hosts;
+    Hashtbl.fold (fun lib ms acc -> (lib, ms) :: acc) tbl []
+    |> List.sort (fun (la, a) (lb, b) ->
+           match Float.compare b a with 0 -> String.compare la lb | c -> c)
+    |> normalize_ledger
+  in
+  if Netsim.Farm.completed farm = 0 then
+    invalid_arg
+      (Printf.sprintf "Experiment.run_farm_spec: no handshake completed for %s"
+         (farm_spec_label sp));
+  { fo_kem_name = sp.fa_kem.Pqc.Kem.name;
+    fo_sig_name = sp.fa_sig.Pqc.Sigalg.name;
+    fo_scenario_name = sp.fa_scenario.Scenario.name;
+    fo_profile = sp.fa_profile;
+    fo_policy = sp.fa_policy;
+    fo_servers = sp.fa_servers;
+    fo_utilization = sp.fa_utilization;
+    fo_capacity_hs_s = capacity;
+    fo_offered_rate = rate;
+    fo_window_s = window;
+    fo_offered = Netsim.Farm.offered farm;
+    fo_completed = Netsim.Farm.completed farm;
+    fo_dropped = Netsim.Farm.dropped farm;
+    fo_unfinished = Netsim.Farm.unfinished farm;
+    fo_latencies_ms = Netsim.Farm.latencies_ms farm;
+    fo_wait_ms = Netsim.Farm.wait_ms farm;
+    fo_server_cpu_ms = server_cpu_ms;
+    fo_server_busy =
+      server_cpu_ms /. 1000. /. (float_of_int sp.fa_servers *. span);
+    fo_server_ledger = merged_ledger;
+    fo_per_server_completed =
+      Array.to_list (Netsim.Farm.per_server_completed farm);
+    fo_adv_launched = !adv_launched;
+    fo_adv_completed = !adv_completed;
+    fo_adv_client_bytes = !adv_cb;
+    fo_adv_server_bytes = !adv_sb;
+    fo_benign_client_bytes = !ben_cb;
+    fo_benign_server_bytes = !ben_sb;
+    fo_cal_client_cpu_ms = cal_client;
+    fo_cal_server_cpu_ms = cal_server;
+    fo_cal_adv_server_cpu_ms = cal_adv_server }

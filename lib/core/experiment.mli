@@ -117,3 +117,99 @@ val run :
 
 val median_of : (sample -> float) -> outcome -> float
 val median_bytes : (sample -> int) -> outcome -> int
+
+(** {1 Server-farm cells (Table 5)}
+
+    Open-loop N-client x M-server campaigns: arrivals from a
+    {!Netsim.Workload} profile at a rate set as a fraction
+    ([fa_utilization]) of the farm's CPU-sustainable capacity, dispatched
+    by a {!Netsim.Balancer} policy across [fa_servers] single-core hosts
+    with per-server admission control. Capacity is calibrated per cell
+    from a short closed-loop run of the same KA x SA x scenario with the
+    measurement-harness overhead removed. *)
+
+type farm_spec = {
+  fa_kem : Pqc.Kem.t;
+  fa_sig : Pqc.Sigalg.t;
+  fa_scenario : Scenario.t;
+  fa_profile : string;  (** {!Netsim.Workload} name *)
+  fa_policy : string;  (** {!Netsim.Balancer} policy name *)
+  fa_servers : int;
+  fa_max_concurrent : int;
+  fa_accept_queue : int;
+  fa_utilization : float;  (** offered rate / calibrated capacity *)
+  fa_duration_s : float;
+  fa_max_connections : int;
+      (** cap on total arrivals; enforced by shrinking the window so the
+          profile shape is preserved *)
+  fa_adv_fraction : float;
+      (** section 5.5 at scale: fraction of arrivals that are
+          adversarial clients negotiating [fa_adv_kem] *)
+  fa_adv_kem : Pqc.Kem.t;
+  fa_seed : string;
+}
+
+type farm_outcome = {
+  fo_kem_name : string;
+  fo_sig_name : string;
+  fo_scenario_name : string;
+  fo_profile : string;
+  fo_policy : string;
+  fo_servers : int;
+  fo_utilization : float;
+  fo_capacity_hs_s : float;  (** calibrated farm capacity, handshakes/s *)
+  fo_offered_rate : float;  (** mean offered arrival rate, handshakes/s *)
+  fo_window_s : float;  (** effective arrival window *)
+  fo_offered : int;
+  fo_completed : int;
+  fo_dropped : int;  (** accept-queue overflows *)
+  fo_unfinished : int;  (** still in flight at the drain horizon *)
+  fo_latencies_ms : float list;
+      (** arrival-to-Finished per completed connection, arrival order *)
+  fo_wait_ms : float list;  (** arrival-to-admission, arrival order *)
+  fo_server_cpu_ms : float;  (** summed over all server cores *)
+  fo_server_busy : float;  (** fraction of total server core-time busy *)
+  fo_server_ledger : (string * float) list;
+  fo_per_server_completed : int list;
+  fo_adv_launched : int;
+  fo_adv_completed : int;
+  fo_adv_client_bytes : int;
+  fo_adv_server_bytes : int;
+  fo_benign_client_bytes : int;
+  fo_benign_server_bytes : int;
+  fo_cal_client_cpu_ms : float;
+  fo_cal_server_cpu_ms : float;
+  fo_cal_adv_server_cpu_ms : float;
+}
+
+val farm_spec :
+  ?scenario:Scenario.t ->
+  ?profile:string ->
+  ?policy:string ->
+  ?servers:int ->
+  ?max_concurrent:int ->
+  ?accept_queue:int ->
+  ?utilization:float ->
+  ?duration_s:float ->
+  ?max_connections:int ->
+  ?adv_fraction:float ->
+  ?adv_kem:Pqc.Kem.t ->
+  ?seed:string ->
+  Pqc.Kem.t ->
+  Pqc.Sigalg.t ->
+  farm_spec
+(** Defaults: no emulation, poisson arrivals, least-connections over 3
+    servers, 64 in-service + 128 queued per server, 90 % utilization,
+    a 1 s window capped at 1200 connections, no adversarial mix (the
+    adversarial KEM defaults to the x25519 baseline — smallest client
+    flight, maximal amplification).
+    @raise Invalid_argument for unknown profile or policy names. *)
+
+val run_farm_spec : farm_spec -> farm_outcome
+(** Execute one farm cell. Deterministic in the spec alone, like
+    {!run_spec}: arrivals, balancing, per-connection crypto and netem
+    draws all derive from DRBG forks of [fa_seed].
+    @raise Invalid_argument if not a single handshake completed. *)
+
+val farm_spec_label : farm_spec -> string
+val farm_spec_fingerprint : farm_spec -> string

@@ -133,6 +133,80 @@ let is_standard (sp : Experiment.spec) =
     (Experiment.spec_fingerprint rebuilt)
     (Experiment.spec_fingerprint sp)
 
+(* ---- per-farm-cell data --------------------------------------------------- *)
+
+type farm_cell_data = {
+  fd_capacity_hs_s : float;
+  fd_offered_rate : float;
+  fd_window_s : float;
+  fd_offered : int;
+  fd_completed : int;
+  fd_dropped : int;
+  fd_unfinished : int;
+  fd_latency : dist;
+  fd_latency_p999 : float;
+  fd_p99_ci_lo : float;
+  fd_p99_ci_hi : float;
+  fd_wait : dist;
+  fd_server_cpu_ms : float;
+  fd_server_busy : float;
+  fd_server_ledger : (string * float) list;
+  fd_per_server_completed : int list;
+  fd_adv_launched : int;
+  fd_adv_completed : int;
+  fd_adv_client_bytes : int;
+  fd_adv_server_bytes : int;
+  fd_benign_client_bytes : int;
+  fd_benign_server_bytes : int;
+  fd_cal_client_cpu_ms : float;
+  fd_cal_server_cpu_ms : float;
+  fd_cal_adv_server_cpu_ms : float;
+}
+
+type farm_cell = {
+  f_id : string;
+  f_key : string;
+  f_kem : string;
+  f_sig : string;
+  f_scenario : string;
+  f_profile : string;
+  f_policy : string;
+  f_utilization : float;
+  f_adv_fraction : float;
+  f_data : (farm_cell_data, string) result;
+}
+
+let data_of_farm_outcome ~id (o : Experiment.farm_outcome) =
+  let lat = o.Experiment.fo_latencies_ms in
+  let p99_lo, p99_hi =
+    Stats.bootstrap_ci ~seed:(id ^ "/p99") (Stats.percentile 0.99) lat
+  in
+  { fd_capacity_hs_s = o.Experiment.fo_capacity_hs_s;
+    fd_offered_rate = o.Experiment.fo_offered_rate;
+    fd_window_s = o.Experiment.fo_window_s;
+    fd_offered = o.Experiment.fo_offered;
+    fd_completed = o.Experiment.fo_completed;
+    fd_dropped = o.Experiment.fo_dropped;
+    fd_unfinished = o.Experiment.fo_unfinished;
+    fd_latency = dist ~seed:(id ^ "/latency") lat;
+    fd_latency_p999 = Stats.percentile 0.999 lat;
+    fd_p99_ci_lo = p99_lo;
+    fd_p99_ci_hi = p99_hi;
+    fd_wait = dist ~seed:(id ^ "/wait") o.Experiment.fo_wait_ms;
+    fd_server_cpu_ms = o.Experiment.fo_server_cpu_ms;
+    fd_server_busy = o.Experiment.fo_server_busy;
+    fd_server_ledger = o.Experiment.fo_server_ledger;
+    fd_per_server_completed = o.Experiment.fo_per_server_completed;
+    fd_adv_launched = o.Experiment.fo_adv_launched;
+    fd_adv_completed = o.Experiment.fo_adv_completed;
+    fd_adv_client_bytes = o.Experiment.fo_adv_client_bytes;
+    fd_adv_server_bytes = o.Experiment.fo_adv_server_bytes;
+    fd_benign_client_bytes = o.Experiment.fo_benign_client_bytes;
+    fd_benign_server_bytes = o.Experiment.fo_benign_server_bytes;
+    fd_cal_client_cpu_ms = o.Experiment.fo_cal_client_cpu_ms;
+    fd_cal_server_cpu_ms = o.Experiment.fo_cal_server_cpu_ms;
+    fd_cal_adv_server_cpu_ms = o.Experiment.fo_cal_adv_server_cpu_ms }
+
 (* ---- the registry -------------------------------------------------------- *)
 
 type t = {
@@ -143,6 +217,7 @@ type t = {
   seen : (string, unit) Hashtbl.t; (* cell fingerprints already recorded *)
   labels : (string, int) Hashtbl.t; (* spec_label -> occurrences *)
   mutable cells_rev : cell list;
+  mutable farm_cells_rev : farm_cell list;
   mutable experiments_rev : string list;
 }
 
@@ -154,6 +229,7 @@ let create () =
     seen = Hashtbl.create 64;
     labels = Hashtbl.create 64;
     cells_rev = [];
+    farm_cells_rev = [];
     experiments_rev = [] }
 
 let locked t f =
@@ -221,7 +297,41 @@ let record_cell t (sp : Experiment.spec) result =
         t.cells_rev <- cell :: t.cells_rev
       end)
 
-let cell_count t = locked t (fun () -> List.length t.cells_rev)
+(* farm cells share the dedup and label machinery above: fingerprints
+   never collide across the two kinds (the farm tag differs), and label
+   formats differ, so one [seen] / [labels] pair serves both *)
+let record_farm_cell t (sp : Experiment.farm_spec) result =
+  let id = Experiment.farm_spec_fingerprint sp in
+  locked t (fun () ->
+      if not (Hashtbl.mem t.seen id) then begin
+        Hashtbl.add t.seen id ();
+        let label = Experiment.farm_spec_label sp in
+        let occurrences =
+          Option.value ~default:0 (Hashtbl.find_opt t.labels label)
+        in
+        Hashtbl.replace t.labels label (occurrences + 1);
+        let key =
+          if occurrences = 0 then label
+          else Printf.sprintf "%s#%d" label (occurrences + 1)
+        in
+        let cell =
+          { f_id = id;
+            f_key = key;
+            f_kem = sp.Experiment.fa_kem.Pqc.Kem.name;
+            f_sig = sp.Experiment.fa_sig.Pqc.Sigalg.name;
+            f_scenario = sp.Experiment.fa_scenario.Scenario.name;
+            f_profile = sp.Experiment.fa_profile;
+            f_policy = sp.Experiment.fa_policy;
+            f_utilization = sp.Experiment.fa_utilization;
+            f_adv_fraction = sp.Experiment.fa_adv_fraction;
+            f_data = Result.map (fun o -> data_of_farm_outcome ~id o) result }
+        in
+        t.farm_cells_rev <- cell :: t.farm_cells_rev
+      end)
+
+let cell_count t =
+  locked t (fun () ->
+      List.length t.cells_rev + List.length t.farm_cells_rev)
 
 (* ---- the artifact -------------------------------------------------------- *)
 
@@ -231,13 +341,15 @@ type artifact = {
   a_seed : string;
   a_experiments : string list;
   a_cells : cell list;
+  a_farm_cells : farm_cell list;
 }
 
 let artifact t ~seed =
   locked t (fun () ->
       { a_seed = seed;
         a_experiments = List.rev t.experiments_rev;
-        a_cells = List.rev t.cells_rev })
+        a_cells = List.rev t.cells_rev;
+        a_farm_cells = List.rev t.farm_cells_rev })
 
 let json_of_dist d =
   Json.Obj
@@ -301,14 +413,83 @@ let json_of_cell c =
                       ("server_ledger", json_of_ledger d.cd_server_ledger) ]
                 ) ] ) ])
 
+let json_of_farm_cell c =
+  let base =
+    [ ("id", Json.String c.f_id);
+      ("key", Json.String c.f_key);
+      ("kem", Json.String c.f_kem);
+      ("sig", Json.String c.f_sig);
+      ("scenario", Json.String c.f_scenario);
+      ("profile", Json.String c.f_profile);
+      ("policy", Json.String c.f_policy);
+      ("utilization", Json.Float c.f_utilization);
+      ("adv_fraction", Json.Float c.f_adv_fraction) ]
+  in
+  match c.f_data with
+  | Error msg ->
+    Json.Obj (base @ [ ("error", Json.String msg); ("data", Json.Null) ])
+  | Ok d ->
+    Json.Obj
+      (base
+      @ [ ( "data",
+            Json.Obj
+              [ ( "load",
+                  Json.Obj
+                    [ ("capacity_hs_s", Json.Float d.fd_capacity_hs_s);
+                      ("offered_rate_hs_s", Json.Float d.fd_offered_rate);
+                      ("window_s", Json.Float d.fd_window_s);
+                      ("offered", Json.Int d.fd_offered);
+                      ("completed", Json.Int d.fd_completed);
+                      ("dropped", Json.Int d.fd_dropped);
+                      ("unfinished", Json.Int d.fd_unfinished) ] );
+                ( "latency_ms",
+                  Json.Obj
+                    [ ("handshake", json_of_dist d.fd_latency);
+                      ("p999", Json.Float d.fd_latency_p999);
+                      ("p99_ci95_lo", Json.Float d.fd_p99_ci_lo);
+                      ("p99_ci95_hi", Json.Float d.fd_p99_ci_hi);
+                      ("accept_wait", json_of_dist d.fd_wait) ] );
+                ( "servers",
+                  Json.Obj
+                    [ ("cpu_ms", Json.Float d.fd_server_cpu_ms);
+                      ("busy", Json.Float d.fd_server_busy);
+                      ("ledger", json_of_ledger d.fd_server_ledger);
+                      ( "completed",
+                        Json.List
+                          (List.map
+                             (fun n -> Json.Int n)
+                             d.fd_per_server_completed) ) ] );
+                ( "adversarial",
+                  Json.Obj
+                    [ ("launched", Json.Int d.fd_adv_launched);
+                      ("completed", Json.Int d.fd_adv_completed);
+                      ("adv_client_bytes", Json.Int d.fd_adv_client_bytes);
+                      ("adv_server_bytes", Json.Int d.fd_adv_server_bytes);
+                      ("benign_client_bytes", Json.Int d.fd_benign_client_bytes);
+                      ("benign_server_bytes", Json.Int d.fd_benign_server_bytes)
+                    ] );
+                ( "calibration",
+                  Json.Obj
+                    [ ("client_cpu_ms", Json.Float d.fd_cal_client_cpu_ms);
+                      ("server_cpu_ms", Json.Float d.fd_cal_server_cpu_ms);
+                      ( "adv_server_cpu_ms",
+                        Json.Float d.fd_cal_adv_server_cpu_ms ) ] ) ] ) ])
+
 let to_json_string a =
   Json.to_string
     (Json.Obj
-       [ ("schema", Json.String schema_version);
-         ("seed", Json.String a.a_seed);
-         ( "experiments",
-           Json.List (List.map (fun e -> Json.String e) a.a_experiments) );
-         ("cells", Json.List (List.map json_of_cell a.a_cells)) ])
+       ([ ("schema", Json.String schema_version);
+          ("seed", Json.String a.a_seed);
+          ( "experiments",
+            Json.List (List.map (fun e -> Json.String e) a.a_experiments) );
+          ("cells", Json.List (List.map json_of_cell a.a_cells)) ]
+       (* only farm campaigns carry the key: artifacts of the existing
+          campaigns stay byte-identical under schema /1 *)
+       @
+       match a.a_farm_cells with
+       | [] -> []
+       | fcs ->
+         [ ("farm_cells", Json.List (List.map json_of_farm_cell fcs)) ]))
 
 (* ---- the parsed (comparison) side ---------------------------------------- *)
 
@@ -324,10 +505,23 @@ type p_cell = {
   p_metrics : (string * float) list; (* flattened numeric leaves, in order *)
 }
 
+type p_farm_cell = {
+  pf_id : string;
+  pf_key : string;
+  pf_kem : string;
+  pf_sig : string;
+  pf_scenario : string;
+  pf_profile : string;
+  pf_policy : string;
+  pf_error : string option;
+  pf_metrics : (string * float) list;
+}
+
 type p_artifact = {
   p_seed : string;
   p_experiments : string list;
   p_cells : p_cell list;
+  p_farm_cells : p_farm_cell list;
 }
 
 let rec flatten prefix j acc =
@@ -385,6 +579,39 @@ let rec collect_cells = function
     let* cs = collect_cells rest in
     Ok (c :: cs)
 
+let parse_farm_cell j =
+  let str k = Json.to_str (Json.member k j) in
+  let* id = req "farm cell id" (str "id") in
+  let* key = req "farm cell key" (str "key") in
+  let* kem = req "farm cell kem" (str "kem") in
+  let* sig_ = req "farm cell sig" (str "sig") in
+  let* scenario = req "farm cell scenario" (str "scenario") in
+  let* profile = req "farm cell profile" (str "profile") in
+  let* policy = req "farm cell policy" (str "policy") in
+  let error = str "error" in
+  let metrics =
+    match Json.member "data" j with
+    | Some (Json.Obj _ as data) -> List.rev (flatten "data" data [])
+    | _ -> []
+  in
+  Ok
+    { pf_id = id;
+      pf_key = key;
+      pf_kem = kem;
+      pf_sig = sig_;
+      pf_scenario = scenario;
+      pf_profile = profile;
+      pf_policy = policy;
+      pf_error = error;
+      pf_metrics = metrics }
+
+let rec collect_farm_cells = function
+  | [] -> Ok []
+  | j :: rest ->
+    let* c = parse_farm_cell j in
+    let* cs = collect_farm_cells rest in
+    Ok (c :: cs)
+
 let of_json_string s =
   let* j = Json.parse s in
   let* schema = req "schema" (Json.to_str (Json.member "schema" j)) in
@@ -406,7 +633,19 @@ let of_json_string s =
     in
     let* cells = req "cells" (Json.to_list (Json.member "cells" j)) in
     let* cells = collect_cells cells in
-    Ok { p_seed = seed; p_experiments = experiments; p_cells = cells }
+    (* absent for every pre-farm artifact; never required *)
+    let* farm_cells =
+      match Json.member "farm_cells" j with
+      | None -> Ok []
+      | Some fj ->
+        let* items = req "farm_cells" (Json.to_list (Some fj)) in
+        collect_farm_cells items
+    in
+    Ok
+      { p_seed = seed;
+        p_experiments = experiments;
+        p_cells = cells;
+        p_farm_cells = farm_cells }
 
 (* ---- diffing two artifacts ----------------------------------------------- *)
 
@@ -418,52 +657,68 @@ let rel_delta a b =
     Float.abs (a -. b)
     /. Float.max (Float.max (Float.abs a) (Float.abs b)) 1e-9
 
+(* shared cell-matching core of [diff]: both cell kinds reduce to
+   (id, key, error, metrics) views and get identical treatment *)
+let diff_views ~rel_tol ~issue base_cells cand_cells =
+  let issue fmt = Printf.ksprintf issue fmt in
+  let index =
+    let h = Hashtbl.create (List.length cand_cells) in
+    List.iter
+      (fun ((id, _, _, _) as c) -> Hashtbl.replace h id c)
+      cand_cells;
+    h
+  in
+  let base_ids = Hashtbl.create (List.length base_cells) in
+  List.iter (fun (id, _, _, _) -> Hashtbl.replace base_ids id ()) base_cells;
+  List.iter
+    (fun (b_id, b_key, b_error, b_metrics) ->
+      match Hashtbl.find_opt index b_id with
+      | None -> issue "%s: cell missing from candidate" b_key
+      | Some (_, _, c_error, c_metrics) -> (
+        match (b_error, c_error) with
+        | Some _, Some _ -> () (* both failed; messages may differ *)
+        | Some _, None -> issue "%s: failed in baseline, ok in candidate" b_key
+        | None, Some _ -> issue "%s: ok in baseline, failed in candidate" b_key
+        | None, None ->
+          let cm = Hashtbl.create (List.length c_metrics) in
+          List.iter (fun (k, v) -> Hashtbl.replace cm k v) c_metrics;
+          List.iter
+            (fun (k, bv) ->
+              match Hashtbl.find_opt cm k with
+              | None -> issue "%s: metric %s missing from candidate" b_key k
+              | Some cv ->
+                let rel = rel_delta bv cv in
+                if not (rel <= rel_tol) then
+                  issue "%s: %s %s vs %s (%.2f%% apart, tol %.2f%%)" b_key k
+                    (Json.float_repr bv) (Json.float_repr cv) (100. *. rel)
+                    (100. *. rel_tol))
+            b_metrics;
+          List.iter
+            (fun (k, _) ->
+              if not (List.mem_assoc k b_metrics) then
+                issue "%s: metric %s missing from baseline" b_key k)
+            c_metrics))
+    base_cells;
+  List.iter
+    (fun (id, key, _, _) ->
+      if not (Hashtbl.mem base_ids id) then
+        issue "%s: cell missing from baseline" key)
+    cand_cells
+
 let diff ?(rel_tol = 0.) base cand =
   let issues = ref [] in
   let issue fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
   if base.p_seed <> cand.p_seed then
     issue "seed mismatch: %S vs %S" base.p_seed cand.p_seed;
-  let index =
-    let h = Hashtbl.create (List.length cand.p_cells) in
-    List.iter (fun c -> Hashtbl.replace h c.p_id c) cand.p_cells;
-    h
-  in
-  let base_ids = Hashtbl.create (List.length base.p_cells) in
-  List.iter (fun c -> Hashtbl.replace base_ids c.p_id ()) base.p_cells;
-  List.iter
-    (fun b ->
-      match Hashtbl.find_opt index b.p_id with
-      | None -> issue "%s: cell missing from candidate" b.p_key
-      | Some c -> (
-        match (b.p_error, c.p_error) with
-        | Some _, Some _ -> () (* both failed; messages may differ *)
-        | Some _, None -> issue "%s: failed in baseline, ok in candidate" b.p_key
-        | None, Some _ -> issue "%s: ok in baseline, failed in candidate" b.p_key
-        | None, None ->
-          let cm = Hashtbl.create (List.length c.p_metrics) in
-          List.iter (fun (k, v) -> Hashtbl.replace cm k v) c.p_metrics;
-          List.iter
-            (fun (k, bv) ->
-              match Hashtbl.find_opt cm k with
-              | None -> issue "%s: metric %s missing from candidate" b.p_key k
-              | Some cv ->
-                let rel = rel_delta bv cv in
-                if not (rel <= rel_tol) then
-                  issue "%s: %s %s vs %s (%.2f%% apart, tol %.2f%%)" b.p_key
-                    k (Json.float_repr bv) (Json.float_repr cv) (100. *. rel)
-                    (100. *. rel_tol))
-            b.p_metrics;
-          List.iter
-            (fun (k, _) ->
-              if not (List.mem_assoc k b.p_metrics) then
-                issue "%s: metric %s missing from baseline" b.p_key k)
-            c.p_metrics))
-    base.p_cells;
-  List.iter
-    (fun c ->
-      if not (Hashtbl.mem base_ids c.p_id) then
-        issue "%s: cell missing from baseline" c.p_key)
-    cand.p_cells;
+  let issue s = issue "%s" s in
+  let cell_view c = (c.p_id, c.p_key, c.p_error, c.p_metrics) in
+  let farm_view c = (c.pf_id, c.pf_key, c.pf_error, c.pf_metrics) in
+  diff_views ~rel_tol ~issue
+    (List.map cell_view base.p_cells)
+    (List.map cell_view cand.p_cells);
+  diff_views ~rel_tol ~issue
+    (List.map farm_view base.p_farm_cells)
+    (List.map farm_view cand.p_farm_cells);
   List.rev !issues
 
 (* ---- the paper-drift gate ------------------------------------------------ *)

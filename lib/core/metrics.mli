@@ -71,6 +71,54 @@ type cell = {
   m_data : (cell_data, string) result;  (** [Error] carries the failure *)
 }
 
+(** {1 Farm cells (Table 5)}
+
+    One summary per {!Experiment.farm_spec} cell. The artifact gains a
+    [farm_cells] key only when a farm campaign ran, so artifacts of the
+    existing campaigns stay byte-identical under the same schema
+    version; parsers treat the key as optional. *)
+
+type farm_cell_data = {
+  fd_capacity_hs_s : float;
+  fd_offered_rate : float;
+  fd_window_s : float;
+  fd_offered : int;
+  fd_completed : int;
+  fd_dropped : int;
+  fd_unfinished : int;
+  fd_latency : dist;  (** arrival-to-Finished, ms *)
+  fd_latency_p999 : float;
+  fd_p99_ci_lo : float;  (** deterministic bootstrap 95 % CI of the p99 *)
+  fd_p99_ci_hi : float;
+  fd_wait : dist;  (** accept-queue wait, ms *)
+  fd_server_cpu_ms : float;
+  fd_server_busy : float;
+  fd_server_ledger : (string * float) list;
+  fd_per_server_completed : int list;
+  fd_adv_launched : int;
+  fd_adv_completed : int;
+  fd_adv_client_bytes : int;
+  fd_adv_server_bytes : int;
+  fd_benign_client_bytes : int;
+  fd_benign_server_bytes : int;
+  fd_cal_client_cpu_ms : float;
+  fd_cal_server_cpu_ms : float;
+  fd_cal_adv_server_cpu_ms : float;
+}
+
+type farm_cell = {
+  f_id : string;  (** {!Experiment.farm_spec_fingerprint} *)
+  f_key : string;
+  f_kem : string;
+  f_sig : string;
+  f_scenario : string;
+  f_profile : string;
+  f_policy : string;
+  f_utilization : float;
+  f_adv_fraction : float;
+  f_data : (farm_cell_data, string) result;
+}
+
 (** {1 The registry} *)
 
 type t
@@ -103,7 +151,16 @@ val record_cell :
     (first recording wins), so call order — which {!Exec.cells} fixes
     to spec order — fully determines the artifact. *)
 
+val record_farm_cell :
+  t ->
+  Experiment.farm_spec ->
+  (Experiment.farm_outcome, string) result ->
+  unit
+(** Farm-cell counterpart of {!record_cell}: same fingerprint dedup and
+    label disambiguation, recorded by {!Exec.farm_cells} in spec order. *)
+
 val cell_count : t -> int
+(** Recorded cells of both kinds. *)
 
 (** {1 The artifact} *)
 
@@ -114,6 +171,7 @@ type artifact = {
   a_seed : string;
   a_experiments : string list;
   a_cells : cell list;
+  a_farm_cells : farm_cell list;
 }
 
 val artifact : t -> seed:string -> artifact
@@ -141,10 +199,23 @@ type p_cell = {
           ["data.latency_ms.total.p50"], in serialization order *)
 }
 
+type p_farm_cell = {
+  pf_id : string;
+  pf_key : string;
+  pf_kem : string;
+  pf_sig : string;
+  pf_scenario : string;
+  pf_profile : string;
+  pf_policy : string;
+  pf_error : string option;
+  pf_metrics : (string * float) list;
+}
+
 type p_artifact = {
   p_seed : string;
   p_experiments : string list;
   p_cells : p_cell list;
+  p_farm_cells : p_farm_cell list;  (** [[]] for pre-farm artifacts *)
 }
 
 val of_json_string : string -> (p_artifact, string) result
@@ -152,7 +223,8 @@ val of_json_string : string -> (p_artifact, string) result
 
 val diff : ?rel_tol:float -> p_artifact -> p_artifact -> string list
 (** Human-readable drift issues between a baseline and a candidate,
-    empty when they agree. Cells match on [p_id]; unmatched cells,
+    empty when they agree. Farm cells are compared with the same rules
+    as standard cells. Cells match on [p_id]; unmatched cells,
     ok/failed flips, missing metrics and seed mismatches are issues.
     [rel_tol] (default [0.] = exact, NaN equal to NaN) bounds
     [|a - b| / max(|a|, |b|)] per metric. *)

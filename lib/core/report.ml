@@ -392,6 +392,145 @@ let attack ?seed ?exec () =
         worst_c.Amplification.kem worst_c.Amplification.sa
         worst_c.Amplification.cpu_ratio
 
+(* ---- Table 5 ------------------------------------------------------------- *)
+
+(* the capacity campaign covers the paper's reference pair plus one
+   lattice pair per level and the hash-based outlier — the pairs whose
+   single-handshake profiles differ most, so farm behaviour separates *)
+let table5_pairs =
+  [ ("x25519", "rsa:2048"); ("kyber512", "dilithium2");
+    ("kyber768", "dilithium3"); ("kyber512", "sphincs128") ]
+
+let farm_p50_p99_p999 (o : Experiment.farm_outcome) =
+  match
+    Stats.percentiles [ 0.5; 0.99; 0.999 ] o.Experiment.fo_latencies_ms
+  with
+  | [ p50; p99; p999 ] -> (p50, p99, p999)
+  | _ -> assert false
+
+let table5_capacity ~seed ~exec ~pairs ~profiles ~servers ~duration_s
+    ~max_connections =
+  let specs =
+    List.concat_map
+      (fun (k, s) ->
+        List.map
+          (fun profile ->
+            Experiment.farm_spec ~seed ~profile ~servers ~duration_s
+              ~max_connections (Pqc.Registry.find_kem k)
+              (Pqc.Registry.find_sig s))
+          profiles)
+      pairs
+  in
+  let rows =
+    List.map2
+      (fun sp r ->
+        match r with
+        | Ok (o : Experiment.farm_outcome) ->
+          let p50, p99, p999 = farm_p50_p99_p999 o in
+          Printf.sprintf
+            "%-15s %-12s %-12s %8.0f %6d %6d %5d %4d %8.2f %8.2f %8.2f"
+            o.Experiment.fo_kem_name o.Experiment.fo_sig_name
+            o.Experiment.fo_profile o.Experiment.fo_capacity_hs_s
+            o.Experiment.fo_offered o.Experiment.fo_completed
+            o.Experiment.fo_dropped o.Experiment.fo_unfinished p50 p99 p999
+        | Error _ ->
+          Printf.sprintf
+            "%-15s %-12s %-12s %s %s %s %s %s %s %s %s  (cell failed)"
+            sp.Experiment.fa_kem.Pqc.Kem.name
+            sp.Experiment.fa_sig.Pqc.Sigalg.name sp.Experiment.fa_profile
+            (dash 8) (dash 6) (dash 6) (dash 5) (dash 4) (dash 8) (dash 8)
+            (dash 8))
+      specs
+      (Exec.farm_cells exec specs)
+  in
+  buf_table
+    (Printf.sprintf
+       "Table 5: sustainable handshake capacity and tail latency (%d \
+        single-core servers, 90%% utilization)"
+       servers)
+    (Printf.sprintf "%-15s %-12s %-12s %8s %6s %6s %5s %4s %8s %8s %8s" "KA"
+       "SA" "profile" "cap/s" "offer" "compl" "drop" "live" "p50 ms" "p99 ms"
+       "p999 ms")
+    rows
+
+(* section 5.5 at farm scale: a fraction of arrivals are adversarial
+   clients negotiating the cheapest KEM (x25519 — a few hundred client
+   bytes buying the full SA-dominated server flight and its CPU) *)
+let table5_attack ~seed ~exec ~servers ~duration_s ~max_connections
+    ~utilizations ~adv_fractions (k, s) =
+  let specs =
+    List.concat_map
+      (fun u ->
+        List.map
+          (fun adv ->
+            Experiment.farm_spec ~seed ~servers ~duration_s ~max_connections
+              ~utilization:u ~adv_fraction:adv (Pqc.Registry.find_kem k)
+              (Pqc.Registry.find_sig s))
+          adv_fractions)
+      utilizations
+  in
+  let rows =
+    List.map2
+      (fun sp r ->
+        match r with
+        | Ok (o : Experiment.farm_outcome) ->
+          let _, p99, _ = farm_p50_p99_p999 o in
+          let amp =
+            if o.Experiment.fo_adv_client_bytes = 0 then 0.
+            else
+              float_of_int o.Experiment.fo_adv_server_bytes
+              /. float_of_int o.Experiment.fo_adv_client_bytes
+          in
+          let cpu_share =
+            if o.Experiment.fo_server_cpu_ms = 0. then 0.
+            else
+              float_of_int o.Experiment.fo_adv_completed
+              *. o.Experiment.fo_cal_adv_server_cpu_ms
+              /. o.Experiment.fo_server_cpu_ms
+          in
+          Printf.sprintf
+            "%4.0f%% %7.0f%% %6d %6d %5d %8.2f %9.2fx %9.0f%%"
+            (100. *. sp.Experiment.fa_utilization)
+            (100. *. sp.Experiment.fa_adv_fraction)
+            o.Experiment.fo_offered o.Experiment.fo_completed
+            o.Experiment.fo_dropped p99 amp (100. *. cpu_share)
+        | Error _ ->
+          Printf.sprintf "%4.0f%% %7.0f%% %s %s %s %s %s %s  (cell failed)"
+            (100. *. sp.Experiment.fa_utilization)
+            (100. *. sp.Experiment.fa_adv_fraction)
+            (dash 6) (dash 6) (dash 5) (dash 8) (dash 10) (dash 10))
+      specs
+      (Exec.farm_cells exec specs)
+  in
+  buf_table
+    (Printf.sprintf
+       "Section 5.5 at scale: adversarial client mix (%s x %s, adversary \
+        negotiates x25519)"
+       k s)
+    (Printf.sprintf "%5s %8s %6s %6s %5s %8s %10s %10s" "util" "adv mix"
+       "offer" "compl" "drop" "p99 ms" "amplif" "adv CPU")
+    rows
+
+let table5 ?(seed = "table5") ?(exec = Exec.sequential) () =
+  table5_capacity ~seed ~exec ~pairs:table5_pairs
+    ~profiles:(List.map (fun w -> w.Netsim.Workload.name) Netsim.Workload.all)
+    ~servers:3 ~duration_s:1.0 ~max_connections:1200
+  ^ "\n"
+  ^ table5_attack ~seed ~exec ~servers:3 ~duration_s:1.0 ~max_connections:900
+      ~utilizations:[ 0.70; 0.90; 0.99 ] ~adv_fractions:[ 0.; 0.3 ]
+      ("kyber512", "sphincs128")
+
+(* the CI gate's campaign: same shape, farm sizes cut for wall clock *)
+let table5_smoke ?(seed = "table5") ?(exec = Exec.sequential) () =
+  table5_capacity ~seed ~exec
+    ~pairs:[ ("x25519", "rsa:2048"); ("kyber768", "dilithium3") ]
+    ~profiles:[ "poisson"; "flash-crowd" ] ~servers:2 ~duration_s:0.4
+    ~max_connections:240
+  ^ "\n"
+  ^ table5_attack ~seed ~exec ~servers:2 ~duration_s:0.4 ~max_connections:200
+      ~utilizations:[ 0.90 ] ~adv_fractions:[ 0.; 0.3 ]
+      ("kyber512", "sphincs128")
+
 (* ---- ablations ------------------------------------------------------------ *)
 
 let ablation_buffer ?(seed = "ablation") ?(exec = Exec.sequential) () =

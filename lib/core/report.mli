@@ -25,6 +25,18 @@ val figure3 : ?seed:string -> ?exec:Exec.t -> unit -> string
 val figure4 : ?seed:string -> ?exec:Exec.t -> unit -> string
 val attack : ?seed:string -> ?exec:Exec.t -> unit -> string
 
+val table5 : ?seed:string -> ?exec:Exec.t -> unit -> string
+(** Beyond the paper, toward its "server farms would need" projections:
+    sustainable handshake capacity and p50/p99/p999 tail latency of an
+    N-client x M-server farm under open-loop poisson / ramp /
+    flash-crowd arrival profiles, per KA x SA pair, plus the section 5.5
+    adversarial client-mix analysis re-run at scale (amplification and
+    CPU asymmetry at 70/90/99 % utilization). *)
+
+val table5_smoke : ?seed:string -> ?exec:Exec.t -> unit -> string
+(** The CI gate's Table 5: identical structure with the farm sizes cut
+    (2 pairs, 2 profiles, hundreds of connections) for wall clock. *)
+
 val ablation_buffer : ?seed:string -> ?exec:Exec.t -> unit -> string
 (** Extra (section 4 / 5.2 design lever): handshake latency as a
     function of the OpenSSL buffer limit, under both flight behaviours. *)

@@ -77,6 +77,45 @@ let store t k (o : Experiment.outcome) =
     (fun () -> Marshal.to_channel oc (magic, o) []);
   Sys.rename tmp final
 
+(* farm cells share the directory but use their own magic and extension:
+   Marshal is untyped, so the two outcome types must never be able to
+   read each other's files *)
+let farm_magic = "pqtls-farm-cache-1"
+
+let farm_key t spec =
+  hex
+    (Crypto.Sha256.digest
+       (Experiment.farm_spec_fingerprint spec ^ "|code=" ^ t.code_fingerprint))
+
+let farm_path t k = Filename.concat t.dir (k ^ ".farm")
+
+let find_farm t k =
+  let read () =
+    let ic = open_in_bin (farm_path t k) in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let m, (o : Experiment.farm_outcome) = Marshal.from_channel ic in
+        if m <> farm_magic then None else Some o)
+  in
+  let r = try read () with Sys_error _ | End_of_file | Failure _ -> None in
+  (match r with
+  | Some _ -> Atomic.incr t.hits
+  | None -> Atomic.incr t.misses);
+  r
+
+let store_farm t k (o : Experiment.farm_outcome) =
+  let final = farm_path t k in
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" final (Unix.getpid ())
+      (Domain.self () :> int)
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Marshal.to_channel oc (farm_magic, o) []);
+  Sys.rename tmp final
+
 let find_or_run t spec f =
   let k = key t spec in
   match find t k with

@@ -25,6 +25,14 @@ val find : t -> string -> Experiment.outcome option
 
 val store : t -> string -> Experiment.outcome -> unit
 
+val farm_key : t -> Experiment.farm_spec -> string
+(** Cache key of a farm cell. Farm entries live in the same directory
+    but under their own magic and [.farm] extension — the Marshal
+    payloads of the two outcome types are mutually unreadable. *)
+
+val find_farm : t -> string -> Experiment.farm_outcome option
+val store_farm : t -> string -> Experiment.farm_outcome -> unit
+
 val find_or_run :
   t -> Experiment.spec -> (unit -> Experiment.outcome) ->
   Experiment.outcome * [ `Hit | `Miss ]

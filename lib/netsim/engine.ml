@@ -93,4 +93,13 @@ let run ?until t =
   done;
   if t.size = 0 && stop < infinity && t.clock < stop then t.clock <- stop
 
-let pending t = t.size
+(* Cancelled handles stay in the heap until popped (cancellation only
+   flips the flag), so the raw size overcounts. Callers use [pending] to
+   ask "is there live work left?" — count only events that would still
+   fire. *)
+let pending t =
+  let live = ref 0 in
+  for i = 0 to t.size - 1 do
+    if not t.heap.(i).handle.cancelled then incr live
+  done;
+  !live

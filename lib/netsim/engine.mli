@@ -25,3 +25,5 @@ val run : ?until:float -> t -> unit
 (** Drain the queue; stop early once the clock passes [until]. *)
 
 val pending : t -> int
+(** Events still scheduled to fire. Cancelled events linger in the
+    internal heap until popped, but are never counted here. *)

@@ -1,0 +1,70 @@
+(* Open-loop connection-arrival generators for the server-farm
+   simulation. Each profile is a normalized rate shape over the campaign
+   window: [shape u] (with [u = t / duration] in [0,1)) is the relative
+   arrival rate at virtual time [t], scaled so the shape integrates to 1
+   — [rate] in [arrivals] is therefore always the *mean* offered rate,
+   whatever the profile.
+
+   Streams are sampled by thinning an homogeneous Poisson process at the
+   shape's peak rate (Lewis-Shedler): exponential gaps from DRBG
+   uniforms, each candidate kept with probability [shape u / peak]. The
+   whole stream is a pure function of (profile, seed, rate, duration),
+   which is what keeps farm cells bit-identical across [--jobs]. *)
+
+type t = {
+  name : string;
+  label : string;
+  description : string;
+  shape : float -> float;
+  peak : float;
+}
+
+let poisson =
+  { name = "poisson";
+    label = "steady Poisson";
+    description = "constant mean rate: memoryless open-loop arrivals";
+    shape = (fun _ -> 1.);
+    peak = 1. }
+
+(* linear ramp 0.2x -> 1.8x of the mean: a diurnal-style ramp-up *)
+let ramp =
+  { name = "ramp";
+    label = "linear ramp";
+    description = "rate climbs linearly from 0.2x to 1.8x the mean";
+    shape = (fun u -> 0.2 +. (1.6 *. u));
+    peak = 1.8 }
+
+(* baseline 0.5x with a 5.5x burst over u in [0.4, 0.5): mean 1 *)
+let flash_crowd =
+  { name = "flash-crowd";
+    label = "flash crowd";
+    description =
+      "0.5x baseline with a 5.5x burst over the fifth decile of the run";
+    shape = (fun u -> if u >= 0.4 && u < 0.5 then 5.5 else 0.5);
+    peak = 5.5 }
+
+let all = [ poisson; ramp; flash_crowd ]
+
+let find name =
+  match List.find_opt (fun w -> w.name = name) all with
+  | Some w -> w
+  | None -> invalid_arg ("Workload.find: unknown arrival profile " ^ name)
+
+let arrivals w ~rng ~rate ~duration_s =
+  if rate <= 0. || duration_s <= 0. then []
+  else begin
+    let peak_rate = rate *. w.peak in
+    let acc = ref [] in
+    let t = ref 0. in
+    let continue = ref true in
+    while !continue do
+      (* inverse-CDF exponential gap; [Drbg.float] is in [0,1) so the
+         log argument stays strictly positive *)
+      let u = Crypto.Drbg.float rng in
+      t := !t -. (log (1. -. u) /. peak_rate);
+      if !t >= duration_s then continue := false
+      else if Crypto.Drbg.float rng < w.shape (!t /. duration_s) /. w.peak
+      then acc := !t :: !acc
+    done;
+    List.rev !acc
+  end

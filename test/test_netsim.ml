@@ -28,6 +28,58 @@ let test_engine_cancel_and_until () =
   Netsim.Engine.run e;
   Alcotest.(check int) "resumable" 2 !fired
 
+(* regression: [pending] used to report raw heap size, counting
+   cancelled events that would never fire *)
+let test_engine_pending_excludes_cancelled () =
+  let e = Netsim.Engine.create () in
+  let fired = ref 0 in
+  let h1 = Netsim.Engine.schedule_cancellable e ~delay:0.1 (fun () -> incr fired) in
+  let h2 = Netsim.Engine.schedule_cancellable e ~delay:0.2 (fun () -> incr fired) in
+  Netsim.Engine.schedule e ~delay:0.3 (fun () -> incr fired);
+  Alcotest.(check int) "all live" 3 (Netsim.Engine.pending e);
+  h1.Netsim.Engine.cancelled <- true;
+  h2.Netsim.Engine.cancelled <- true;
+  (* the cancelled pair still sits in the heap, but is not pending *)
+  Alcotest.(check int) "cancelled not pending" 1 (Netsim.Engine.pending e);
+  Netsim.Engine.run e ~until:0.05;
+  Alcotest.(check int) "still not pending after partial run" 1
+    (Netsim.Engine.pending e);
+  Netsim.Engine.run e;
+  Alcotest.(check int) "only the live one fired" 1 !fired;
+  Alcotest.(check int) "drained" 0 (Netsim.Engine.pending e)
+
+let test_engine_equal_time_seq_with_cancel () =
+  let e = Netsim.Engine.create () in
+  let log = ref [] in
+  let note x () = log := x :: !log in
+  let _ = Netsim.Engine.schedule_cancellable e ~delay:0.1 (note "a") in
+  let b = Netsim.Engine.schedule_cancellable e ~delay:0.1 (note "b") in
+  let _ = Netsim.Engine.schedule_cancellable e ~delay:0.1 (note "c") in
+  b.Netsim.Engine.cancelled <- true;
+  Netsim.Engine.run e;
+  (* equal-time events keep scheduling (seq) order; a cancelled one in
+     the middle is skipped without disturbing its neighbours *)
+  Alcotest.(check (list string)) "seq order minus cancelled" [ "a"; "c" ]
+    (List.rev !log)
+
+let test_engine_resume_after_until () =
+  let e = Netsim.Engine.create () in
+  let log = ref [] in
+  let note x () = log := x :: !log in
+  Netsim.Engine.schedule e ~delay:1.0 (note "early");
+  Netsim.Engine.schedule e ~delay:2.0 (note "exact");
+  Netsim.Engine.schedule e ~delay:3.0 (note "late");
+  Netsim.Engine.run e ~until:2.0;
+  (* [until] is inclusive; the event beyond it is pushed back intact *)
+  Alcotest.(check (list string)) "boundary inclusive" [ "early"; "exact" ]
+    (List.rev !log);
+  Alcotest.(check int) "late one pending" 1 (Netsim.Engine.pending e);
+  Alcotest.(check (float 1e-9)) "clock at horizon" 2.0 (Netsim.Engine.now e);
+  Netsim.Engine.run e;
+  Alcotest.(check (list string)) "resumed" [ "early"; "exact"; "late" ]
+    (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 3.0 (Netsim.Engine.now e)
+
 let qc_heap =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~name:"heap delivers in time order" ~count:100
@@ -487,6 +539,12 @@ let suites =
   [ ( "netsim",
       [ Alcotest.test_case "engine ordering" `Quick test_engine_ordering;
         Alcotest.test_case "engine cancel/until" `Quick test_engine_cancel_and_until;
+        Alcotest.test_case "engine pending excludes cancelled" `Quick
+          test_engine_pending_excludes_cancelled;
+        Alcotest.test_case "engine equal-time seq with cancel" `Quick
+          test_engine_equal_time_seq_with_cancel;
+        Alcotest.test_case "engine resume after until" `Quick
+          test_engine_resume_after_until;
         qc_heap;
         Alcotest.test_case "link delay + rate" `Quick test_link_delay_and_rate;
         Alcotest.test_case "link loss" `Quick test_link_loss;
