@@ -69,7 +69,7 @@ let micro_tests () =
           let ok = ref false in
           Tls.Handshake.run ~engine ~link
             ~tcp_config:Netsim.Tcp.default_config ~client_host:ch
-            ~server_host:sh ~config ~rng ~on_done:(fun _ -> ok := true);
+            ~server_host:sh ~config ~rng ~on_done:(fun _ -> ok := true) ();
           Netsim.Engine.run engine;
           assert !ok) ]
 

@@ -58,7 +58,8 @@ let list_cmd =
   let what_arg =
     let whats =
       [ ("experiments", `Experiments); ("kas", `Kas); ("sas", `Sas);
-        ("scenarios", `Scenarios); ("workloads", `Workloads) ]
+        ("scenarios", `Scenarios); ("workloads", `Workloads);
+        ("mixes", `Mixes) ]
     in
     Arg.(
       value
@@ -66,7 +67,7 @@ let list_cmd =
       & info [] ~docv:"WHAT"
           ~doc:
             "What to list: $(b,experiments) (default), $(b,kas), \
-             $(b,sas), $(b,scenarios), or $(b,workloads).")
+             $(b,sas), $(b,scenarios), $(b,workloads), or $(b,mixes).")
   in
   let json_arg =
     Arg.(
@@ -164,13 +165,31 @@ let list_cmd =
                     ("description", String w.description);
                     ("peak", Float w.peak) ])
               Netsim.Workload.all))
+    | `Mixes, false ->
+      List.iter
+        (fun (m : Core.Mix.t) ->
+          Printf.printf "%-15s %-18s %s\n" m.name m.label m.description)
+        Core.Mix.all
+    | `Mixes, true ->
+      emit
+        (List
+           (List.map
+              (fun (m : Core.Mix.t) ->
+                Obj
+                  [ ("name", String m.name);
+                    ("label", String m.label);
+                    ("resumed", Float m.resumed);
+                    ("early_data", Bool m.early_data);
+                    ("description", String m.description) ])
+              Core.Mix.all))
   in
   Cmd.v
     (Cmd.info "list"
        ~doc:
          "List the available experiments (Appendix B.6 schema), key \
-          agreements, signature algorithms, network scenarios, or farm \
-          arrival workloads; $(b,--json) emits a machine-readable listing.")
+          agreements, signature algorithms, network scenarios, farm \
+          arrival workloads, or resumption workload mixes; $(b,--json) \
+          emits a machine-readable listing.")
     Term.(const run $ what_arg $ json_arg)
 
 (* ---- run ----------------------------------------------------------------- *)
@@ -469,7 +488,7 @@ let handshake_cmd =
           sig_alg
       in
       Tls.Handshake.run ~engine ~link ~tcp_config:Netsim.Tcp.default_config
-        ~client_host:ch ~server_host:sh ~config ~rng ~on_done:(fun _ -> ());
+        ~client_host:ch ~server_host:sh ~config ~rng ~on_done:(fun _ -> ()) ();
       Netsim.Engine.run engine;
       Netsim.Pcap.write_file path trace;
       Printf.printf "wrote %s (%d packets)\n" path (Netsim.Tap.length trace)

@@ -35,7 +35,7 @@ let () =
   let result = ref None in
   Tls.Handshake.run ~engine ~link ~tcp_config:Netsim.Tcp.default_config
     ~client_host:client ~server_host:server ~config ~rng
-    ~on_done:(fun r -> result := Some r);
+    ~on_done:(fun r -> result := Some r) ();
   Netsim.Engine.run engine;
 
   (* 4. read the tap like the paper's black-box analysis does *)

@@ -135,6 +135,11 @@ let entries :
      fun ?seed ?exec () -> Report.table5 ?seed ?exec ());
     ("farm-smoke", "Table 5 campaign at CI smoke size",
      fun ?seed ?exec () -> Report.table5_smoke ?seed ?exec ());
+    ("mixes", "Table 6 campaign: steady-state cost under PSK-resumption \
+               and 0-RTT workload mixes",
+     fun ?seed ?exec () -> Report.table6 ?seed ?exec ());
+    ("mixes-smoke", "Table 6 campaign at CI smoke size",
+     fun ?seed ?exec () -> Report.table6_smoke ?seed ?exec ());
     ("ablation-buffer", "BIO buffer-limit sweep",
      fun ?seed ?exec () -> Report.ablation_buffer ?seed ?exec ());
     ("ablation-cwnd", "initial congestion-window sweep",
@@ -149,7 +154,8 @@ let aliases =
     ("table2b", "all-sig");
     ("table4a", "all-kem-scenarios");
     ("table4b", "all-sig-scenarios");
-    ("table5", "farm") ]
+    ("table5", "farm");
+    ("table6", "mixes") ]
 
 let names = List.map (fun (n, _, _) -> n) entries
 

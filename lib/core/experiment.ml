@@ -11,12 +11,15 @@ type sample = {
   fast_retransmissions : int;
   timeout_retransmissions : int;
   rtt_samples : int;
+  resumed : bool;
+  early_data_bytes : int;
 }
 
 type outcome = {
   kem_name : string;
   sig_name : string;
   scenario_name : string;
+  mix_name : string;
   buffering : Tls.Config.buffering;
   samples : sample list;
   handshakes_per_minute : int;
@@ -53,6 +56,7 @@ type spec = {
   sp_tcp_config : Netsim.Tcp.config;
   sp_buffer_limit : int;
   sp_wrong_key_share : bool;
+  sp_mix : Mix.t;
   sp_kem : Pqc.Kem.t;
   sp_sig : Pqc.Sigalg.t;
 }
@@ -61,7 +65,7 @@ let spec ?(buffering = Tls.Config.Optimized_push)
     ?(scenario = Scenario.no_emulation) ?(duration_s = 60.) ?max_samples
     ?(seed = "pqtls") ?(real_crypto = false)
     ?(tcp_config = Netsim.Tcp.default_config) ?(buffer_limit = 4096)
-    ?(wrong_key_share = false) kem sig_alg =
+    ?(wrong_key_share = false) ?(mix = Mix.full) kem sig_alg =
   { sp_buffering = buffering;
     sp_scenario = scenario;
     sp_duration_s = duration_s;
@@ -71,25 +75,29 @@ let spec ?(buffering = Tls.Config.Optimized_push)
     sp_tcp_config = tcp_config;
     sp_buffer_limit = buffer_limit;
     sp_wrong_key_share = wrong_key_share;
+    sp_mix = mix;
     sp_kem = kem;
     sp_sig = sig_alg }
 
 let spec_label sp =
-  Printf.sprintf "%s x %s @ %s%s" sp.sp_kem.Pqc.Kem.name
+  Printf.sprintf "%s x %s @ %s%s%s" sp.sp_kem.Pqc.Kem.name
     sp.sp_sig.Pqc.Sigalg.name sp.sp_scenario.Scenario.name
     (match sp.sp_buffering with
     | Tls.Config.Optimized_push -> ""
     | Tls.Config.Default_buffered -> " (default-buffered)")
+    (if Mix.is_full sp.sp_mix then ""
+     else Printf.sprintf " [%s]" sp.sp_mix.Mix.label)
 
 (* A stable, complete rendering of every input that can change the
    outcome — the pre-image of the result-cache key. Algorithms appear by
    name only: their behaviour is code, which the cache covers separately
-   with the executable fingerprint. *)
+   with the executable fingerprint. The mix suffix only appears for
+   non-full mixes so every pre-existing cell keeps its cache key. *)
 let spec_fingerprint sp =
   let netem = sp.sp_scenario.Scenario.netem in
   let tcp = sp.sp_tcp_config in
   Printf.sprintf
-    "v1|kem=%s|sig=%s|scenario=%s|loss=%h|loss_towards=%s|delay=%h|jitter=%h|rate=%h|buffering=%s|duration=%h|max_samples=%s|seed=%s|real=%b|mss=%d|cwnd=%d|kernel_ms=%h|buffer_limit=%d|wrong_ks=%b"
+    "v1|kem=%s|sig=%s|scenario=%s|loss=%h|loss_towards=%s|delay=%h|jitter=%h|rate=%h|buffering=%s|duration=%h|max_samples=%s|seed=%s|real=%b|mss=%d|cwnd=%d|kernel_ms=%h|buffer_limit=%d|wrong_ks=%b%s"
     sp.sp_kem.Pqc.Kem.name sp.sp_sig.Pqc.Sigalg.name
     sp.sp_scenario.Scenario.name netem.Netsim.Link.loss
     (Option.value ~default:"-" netem.Netsim.Link.loss_towards)
@@ -103,6 +111,8 @@ let spec_fingerprint sp =
     sp.sp_seed sp.sp_real_crypto tcp.Netsim.Tcp.mss
     tcp.Netsim.Tcp.init_cwnd_segments tcp.Netsim.Tcp.kernel_cost_ms_per_packet
     sp.sp_buffer_limit sp.sp_wrong_key_share
+    (if Mix.is_full sp.sp_mix then ""
+     else Printf.sprintf "|mix=%s" sp.sp_mix.Mix.name)
 
 let run_spec_traced sp =
   let { sp_buffering = buffering;
@@ -114,6 +124,7 @@ let run_spec_traced sp =
         sp_tcp_config = tcp_config;
         sp_buffer_limit = buffer_limit;
         sp_wrong_key_share = wrong_key_share;
+        sp_mix = mix;
         sp_kem = kem;
         sp_sig = sig_alg } =
     sp
@@ -146,6 +157,14 @@ let run_spec_traced sp =
   in
   let samples = ref [] in
   let count = ref 0 in
+  (* resumption state threads through the loop exactly as a client
+     keyring would: the first connection is always full (no ticket yet),
+     later ones resume whenever the mix's coin says so and a ticket is in
+     hand. The coin stream is a dedicated fork so full-mix cells draw
+     nothing and stay bit-identical to the pre-mix campaign. *)
+  let mixing = mix.Mix.resumed > 0. in
+  let mix_rng = Crypto.Drbg.fork root_rng "mix" in
+  let session = ref None in
   let rec iteration () =
     if Netsim.Engine.now engine < duration_s && !count < max_samples then begin
       Netsim.Tap.clear tap;
@@ -155,8 +174,16 @@ let run_spec_traced sp =
         ~op:Pqc.Costs.connection_setup.Pqc.Costs.label
         ~ms:Pqc.Costs.connection_setup.Pqc.Costs.ms ~lib:"kernel";
       let rng = Crypto.Drbg.fork root_rng (string_of_int !count) in
-      Tls.Handshake.run ~engine ~link ~tcp_config ~client_host ~server_host
-        ~config ~rng ~on_done:(fun r ->
+      let resume =
+        if mixing && Crypto.Drbg.float mix_rng < mix.Mix.resumed then !session
+        else None
+      in
+      Tls.Handshake.run ?resume
+        ~early_data:(resume <> None && mix.Mix.early_data) ~issue_ticket:mixing
+        ~ticket_key:(seed ^ "/stek")
+        ~on_ticket:(fun s -> session := Some s)
+        ~engine ~link ~tcp_config ~client_host ~server_host ~config ~rng
+        ~on_done:(fun r ->
           (* chained lookups: stale retransmissions from the previous
              connection may still be in flight when the trace restarts *)
           let t_ch = mark_time tap "CH" in
@@ -197,7 +224,9 @@ let run_spec_traced sp =
                 + Netsim.Tcp.timeout_retransmissions r.Tls.Handshake.server_tcp;
               rtt_samples =
                 Netsim.Tcp.rtt_samples r.Tls.Handshake.client_tcp
-                + Netsim.Tcp.rtt_samples r.Tls.Handshake.server_tcp }
+                + Netsim.Tcp.rtt_samples r.Tls.Handshake.server_tcp;
+              resumed = r.Tls.Handshake.resumed;
+              early_data_bytes = r.Tls.Handshake.early_data_bytes }
           in
           samples := sample :: !samples;
           incr count;
@@ -222,6 +251,7 @@ let run_spec_traced sp =
           Netsim.Tcp.close r.Tls.Handshake.client_tcp;
           Netsim.Tcp.close r.Tls.Handshake.server_tcp;
           Netsim.Engine.schedule engine ~delay:gap iteration)
+        ()
     end
   in
   iteration ();
@@ -245,6 +275,7 @@ let run_spec_traced sp =
   { kem_name = kem.Pqc.Kem.name;
     sig_name = sig_alg.Pqc.Sigalg.name;
     scenario_name = scenario.Scenario.name;
+    mix_name = mix.Mix.name;
     buffering;
     samples;
     handshakes_per_minute = per_minute;
@@ -265,10 +296,10 @@ let run_spec ?trace sp =
   | Some buf -> Trace.Sink.run_with buf (fun () -> run_spec_traced sp)
 
 let run ?buffering ?scenario ?duration_s ?max_samples ?seed ?real_crypto
-    ?tcp_config ?buffer_limit ?wrong_key_share kem sig_alg =
+    ?tcp_config ?buffer_limit ?wrong_key_share ?mix kem sig_alg =
   run_spec
     (spec ?buffering ?scenario ?duration_s ?max_samples ?seed ?real_crypto
-       ?tcp_config ?buffer_limit ?wrong_key_share kem sig_alg)
+       ?tcp_config ?buffer_limit ?wrong_key_share ?mix kem sig_alg)
 
 let median_of f outcome = Stats.median (List.map f outcome.samples)
 
@@ -291,6 +322,7 @@ type farm_spec = {
   fa_max_connections : int;
   fa_adv_fraction : float;
   fa_adv_kem : Pqc.Kem.t;
+  fa_mix : Mix.t;
   fa_seed : string;
 }
 
@@ -315,6 +347,9 @@ type farm_outcome = {
   fo_server_busy : float;
   fo_server_ledger : (string * float) list;
   fo_per_server_completed : int list;
+  fo_mix_name : string;
+  fo_resumed_completed : int;
+  fo_early_data_bytes : int;
   fo_adv_launched : int;
   fo_adv_completed : int;
   fo_adv_client_bytes : int;
@@ -330,7 +365,8 @@ let farm_spec ?(scenario = Scenario.no_emulation) ?(profile = "poisson")
     ?(policy = "least-connections") ?(servers = 3) ?(max_concurrent = 64)
     ?(accept_queue = 128) ?(utilization = 0.9) ?(duration_s = 1.)
     ?(max_connections = 1200) ?(adv_fraction = 0.)
-    ?(adv_kem = Pqc.Registry.baseline_kem) ?(seed = "pqtls") kem sig_alg =
+    ?(adv_kem = Pqc.Registry.baseline_kem) ?(mix = Mix.full) ?(seed = "pqtls")
+    kem sig_alg =
   (* validate eagerly so a typo fails at grid-build time, not mid-cell *)
   ignore (Netsim.Workload.find profile);
   ignore (Netsim.Balancer.policy_of_name policy);
@@ -347,20 +383,23 @@ let farm_spec ?(scenario = Scenario.no_emulation) ?(profile = "poisson")
     fa_max_connections = max_connections;
     fa_adv_fraction = adv_fraction;
     fa_adv_kem = adv_kem;
+    fa_mix = mix;
     fa_seed = seed }
 
 let farm_spec_label sp =
-  Printf.sprintf "farm %s x %s @ %s/%s u=%.2f%s" sp.fa_kem.Pqc.Kem.name
+  Printf.sprintf "farm %s x %s @ %s/%s u=%.2f%s%s" sp.fa_kem.Pqc.Kem.name
     sp.fa_sig.Pqc.Sigalg.name sp.fa_scenario.Scenario.name sp.fa_profile
     sp.fa_utilization
     (if sp.fa_adv_fraction > 0. then
        Printf.sprintf " adv=%.0f%%" (100. *. sp.fa_adv_fraction)
      else "")
+    (if Mix.is_full sp.fa_mix then ""
+     else Printf.sprintf " [%s]" sp.fa_mix.Mix.label)
 
 let farm_spec_fingerprint sp =
   let netem = sp.fa_scenario.Scenario.netem in
   Printf.sprintf
-    "farm-v1|kem=%s|sig=%s|scenario=%s|loss=%h|loss_towards=%s|delay=%h|jitter=%h|rate=%h|profile=%s|policy=%s|servers=%d|conc=%d|queue=%d|util=%h|duration=%h|maxconn=%d|adv=%h|advkem=%s|seed=%s"
+    "farm-v1|kem=%s|sig=%s|scenario=%s|loss=%h|loss_towards=%s|delay=%h|jitter=%h|rate=%h|profile=%s|policy=%s|servers=%d|conc=%d|queue=%d|util=%h|duration=%h|maxconn=%d|adv=%h|advkem=%s|seed=%s%s"
     sp.fa_kem.Pqc.Kem.name sp.fa_sig.Pqc.Sigalg.name
     sp.fa_scenario.Scenario.name netem.Netsim.Link.loss
     (Option.value ~default:"-" netem.Netsim.Link.loss_towards)
@@ -369,6 +408,8 @@ let farm_spec_fingerprint sp =
     sp.fa_max_concurrent sp.fa_accept_queue sp.fa_utilization
     sp.fa_duration_s sp.fa_max_connections sp.fa_adv_fraction
     sp.fa_adv_kem.Pqc.Kem.name sp.fa_seed
+    (if Mix.is_full sp.fa_mix then ""
+     else Printf.sprintf "|mix=%s" sp.fa_mix.Mix.name)
 
 (* per-iteration harness charges of the closed-loop calibration run that
    a farm server never pays: measurement-loop python + libc plus the nic
@@ -378,22 +419,26 @@ let harness_overhead_ms = harness_python_ms +. harness_libc_ms +. 0.06
 (* per-handshake CPU of one side under this KA x SA x scenario, from a
    short closed-loop run with the harness overhead removed — the service
    rate behind "sustainable capacity" *)
-let calibrate sp ~kem ~seed =
+let calibrate sp ~kem ~mix ~seed =
   let o =
     run_spec
-      (spec ~scenario:sp.fa_scenario ~duration_s:30. ~max_samples:8 ~seed kem
-         sp.fa_sig)
+      (spec ~scenario:sp.fa_scenario ~duration_s:30. ~max_samples:8 ~seed ~mix
+         kem sp.fa_sig)
   in
   ( Float.max 0.001 (o.client_cpu_ms -. harness_overhead_ms),
     Float.max 0.001 (o.server_cpu_ms -. harness_overhead_ms) )
 
 let run_farm_spec sp =
+  (* benign capacity is calibrated under the cell's workload mix, so a
+     90%-resumed farm is offered the (higher) steady-state rate its
+     cheaper handshakes sustain; adversarial clients never resume *)
   let cal_client, cal_server =
-    calibrate sp ~kem:sp.fa_kem ~seed:(sp.fa_seed ^ "/cal")
+    calibrate sp ~kem:sp.fa_kem ~mix:sp.fa_mix ~seed:(sp.fa_seed ^ "/cal")
   in
   let _, cal_adv_server =
     if sp.fa_adv_fraction > 0. then
-      calibrate sp ~kem:sp.fa_adv_kem ~seed:(sp.fa_seed ^ "/cal-adv")
+      calibrate sp ~kem:sp.fa_adv_kem ~mix:Mix.full
+        ~seed:(sp.fa_seed ^ "/cal-adv")
     else (cal_client, cal_server)
   in
   (* one core per server: CPU-sustainable capacity of the whole farm *)
@@ -427,6 +472,19 @@ let run_farm_spec sp =
   let adv_launched = ref 0 and adv_completed = ref 0 in
   let adv_cb = ref 0 and adv_sb = ref 0 in
   let ben_cb = ref 0 and ben_sb = ref 0 in
+  let resumed_completed = ref 0 and early_bytes = ref 0 in
+  (* the whole client population shares one pre-minted ticket (every
+     server holds the same STEK), so resumption needs no issuing
+     handshake and no per-connection ticket state *)
+  let mixing = sp.fa_mix.Mix.resumed > 0. in
+  let ticket_key = sp.fa_seed ^ "/stek" in
+  let shared_session =
+    if mixing then
+      Some
+        (Tls.Handshake.mint_session ~config:benign_config ~ticket_key
+           ~rng:(Crypto.Drbg.fork root_rng "stek"))
+    else None
+  in
   let farm_config =
     { Netsim.Farm.servers = sp.fa_servers;
       max_concurrent = sp.fa_max_concurrent;
@@ -456,10 +514,20 @@ let run_farm_spec sp =
         Netsim.Host.charge_async server_host
           ~op:Pqc.Costs.connection_setup.Pqc.Costs.label
           ~ms:Pqc.Costs.connection_setup.Pqc.Costs.ms ~lib:"kernel";
-        Tls.Handshake.run ~engine ~link
-          ~tcp_config:Netsim.Tcp.default_config ~client_host ~server_host
+        let resume =
+          if
+            (not adversarial) && mixing
+            && Crypto.Drbg.float rng < sp.fa_mix.Mix.resumed
+          then shared_session
+          else None
+        in
+        Tls.Handshake.run ?resume
+          ~early_data:(resume <> None && sp.fa_mix.Mix.early_data)
+          ~ticket_key ~engine ~link ~tcp_config:Netsim.Tcp.default_config
+          ~client_host ~server_host
           ~config:(if adversarial then adv_config else benign_config)
-          ~rng ~on_done:(fun r ->
+          ~rng
+          ~on_done:(fun r ->
             let cb = Netsim.Tcp.bytes_sent r.Tls.Handshake.client_tcp in
             let sb = Netsim.Tcp.bytes_sent r.Tls.Handshake.server_tcp in
             if adversarial then begin
@@ -471,9 +539,12 @@ let run_farm_spec sp =
               ben_cb := !ben_cb + cb;
               ben_sb := !ben_sb + sb
             end;
+            if r.Tls.Handshake.resumed then incr resumed_completed;
+            early_bytes := !early_bytes + r.Tls.Handshake.early_data_bytes;
             Netsim.Tcp.close r.Tls.Handshake.client_tcp;
             Netsim.Tcp.close r.Tls.Handshake.server_tcp;
-            finished ()))
+            finished ())
+          ())
   in
   (* bounded drain: everything admitted normally completes well before
      this horizon; what is still in flight is reported as unfinished *)
@@ -525,6 +596,9 @@ let run_farm_spec sp =
     fo_server_ledger = merged_ledger;
     fo_per_server_completed =
       Array.to_list (Netsim.Farm.per_server_completed farm);
+    fo_mix_name = sp.fa_mix.Mix.name;
+    fo_resumed_completed = !resumed_completed;
+    fo_early_data_bytes = !early_bytes;
     fo_adv_launched = !adv_launched;
     fo_adv_completed = !adv_completed;
     fo_adv_client_bytes = !adv_cb;

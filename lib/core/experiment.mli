@@ -21,12 +21,15 @@ type sample = {
   fast_retransmissions : int;  (** dup-ACK-driven subset *)
   timeout_retransmissions : int;  (** RTO / SYN / SYN-ACK subset *)
   rtt_samples : int;  (** completed round-trip measurements, both sides *)
+  resumed : bool;  (** this connection resumed with a PSK ticket *)
+  early_data_bytes : int;  (** 0-RTT bytes the server accepted *)
 }
 
 type outcome = {
   kem_name : string;
   sig_name : string;
   scenario_name : string;
+  mix_name : string;  (** {!Mix} this cell ran under ("full" historically) *)
   buffering : Tls.Config.buffering;
   samples : sample list;
   handshakes_per_minute : int;
@@ -54,6 +57,10 @@ type spec = {
   sp_tcp_config : Netsim.Tcp.config;
   sp_buffer_limit : int;
   sp_wrong_key_share : bool;
+  sp_mix : Mix.t;
+      (** workload mix: the first connection is always full, later ones
+          resume (optionally with 0-RTT) per the mix's resumed fraction;
+          {!Mix.full} reproduces pre-mix cells bit for bit *)
   sp_kem : Pqc.Kem.t;
   sp_sig : Pqc.Sigalg.t;
 }
@@ -71,6 +78,7 @@ val spec :
   ?tcp_config:Netsim.Tcp.config ->
   ?buffer_limit:int ->
   ?wrong_key_share:bool ->
+  ?mix:Mix.t ->
   Pqc.Kem.t ->
   Pqc.Sigalg.t ->
   spec
@@ -106,6 +114,7 @@ val run :
   ?tcp_config:Netsim.Tcp.config ->
   ?buffer_limit:int ->
   ?wrong_key_share:bool ->
+  ?mix:Mix.t ->
   Pqc.Kem.t ->
   Pqc.Sigalg.t ->
   outcome
@@ -146,6 +155,10 @@ type farm_spec = {
       (** section 5.5 at scale: fraction of arrivals that are
           adversarial clients negotiating [fa_adv_kem] *)
   fa_adv_kem : Pqc.Kem.t;
+  fa_mix : Mix.t;
+      (** workload mix: benign arrivals resume (with a shared pre-minted
+          ticket) at the mix's resumed fraction; capacity is calibrated
+          under the same mix. Adversarial arrivals never resume. *)
   fa_seed : string;
 }
 
@@ -171,6 +184,9 @@ type farm_outcome = {
   fo_server_busy : float;  (** fraction of total server core-time busy *)
   fo_server_ledger : (string * float) list;
   fo_per_server_completed : int list;
+  fo_mix_name : string;
+  fo_resumed_completed : int;  (** completed connections that resumed *)
+  fo_early_data_bytes : int;  (** 0-RTT bytes accepted across the farm *)
   fo_adv_launched : int;
   fo_adv_completed : int;
   fo_adv_client_bytes : int;
@@ -194,6 +210,7 @@ val farm_spec :
   ?max_connections:int ->
   ?adv_fraction:float ->
   ?adv_kem:Pqc.Kem.t ->
+  ?mix:Mix.t ->
   ?seed:string ->
   Pqc.Kem.t ->
   Pqc.Sigalg.t ->

@@ -53,6 +53,19 @@ let dist ~seed xs =
 
 (* ---- per-cell data ------------------------------------------------------- *)
 
+(* per-population split of a mixed-workload cell: the full-handshake and
+   resumed-handshake sub-distributions behind Table 6. [None] dists mean
+   the coin never produced that population within the sample budget. *)
+type resumption = {
+  rs_resumed_n : int;
+  rs_full_n : int;
+  rs_early_data_bytes : int;  (* 0-RTT bytes accepted, summed *)
+  rs_resumed_total : dist option;  (* ms, CH -> client Finished *)
+  rs_full_total : dist option;
+  rs_resumed_server_bytes : dist option;
+  rs_full_server_bytes : dist option;
+}
+
 type cell_data = {
   cd_handshakes_per_minute : int;
   cd_part_a : dist;
@@ -73,6 +86,7 @@ type cell_data = {
   cd_server_cpu_charges : int;
   cd_client_ledger : (string * float) list;
   cd_server_ledger : (string * float) list;
+  cd_resumption : resumption option;  (* Some iff the mix is not full *)
 }
 
 type cell = {
@@ -81,6 +95,7 @@ type cell = {
   m_kem : string;
   m_sig : string;
   m_scenario : string;
+  m_mix : string;
   m_buffering : string;
   m_standard : bool;
   m_data : (cell_data, string) result;
@@ -93,6 +108,33 @@ let data_of_outcome ~id (o : Experiment.outcome) =
   in
   let di name f = d name (fun s -> float_of_int (f s)) in
   let sum f = List.fold_left (fun acc s -> acc + f s) 0 samples in
+  let resumption =
+    if o.Experiment.mix_name = "full" then None
+    else begin
+      let resumed, full =
+        List.partition (fun s -> s.Experiment.resumed) samples
+      in
+      let sub name subset f =
+        match subset with
+        | [] -> None
+        | _ -> Some (dist ~seed:(id ^ "/" ^ name) (List.map f subset))
+      in
+      Some
+        { rs_resumed_n = List.length resumed;
+          rs_full_n = List.length full;
+          rs_early_data_bytes = sum (fun s -> s.Experiment.early_data_bytes);
+          rs_resumed_total =
+            sub "resumed_total" resumed (fun s -> s.Experiment.total_ms);
+          rs_full_total =
+            sub "full_total" full (fun s -> s.Experiment.total_ms);
+          rs_resumed_server_bytes =
+            sub "resumed_server_bytes" resumed (fun s ->
+                float_of_int s.Experiment.server_bytes);
+          rs_full_server_bytes =
+            sub "full_server_bytes" full (fun s ->
+                float_of_int s.Experiment.server_bytes) }
+    end
+  in
   { cd_handshakes_per_minute = o.Experiment.handshakes_per_minute;
     cd_part_a = d "part_a" (fun s -> s.Experiment.part_a_ms);
     cd_part_b = d "part_b" (fun s -> s.Experiment.part_b_ms);
@@ -111,7 +153,8 @@ let data_of_outcome ~id (o : Experiment.outcome) =
     cd_client_cpu_charges = o.Experiment.client_cpu_charges;
     cd_server_cpu_charges = o.Experiment.server_cpu_charges;
     cd_client_ledger = o.Experiment.client_ledger;
-    cd_server_ledger = o.Experiment.server_ledger }
+    cd_server_ledger = o.Experiment.server_ledger;
+    cd_resumption = resumption }
 
 let buffering_name = function
   | Tls.Config.Optimized_push -> "push"
@@ -161,6 +204,8 @@ type farm_cell_data = {
   fd_cal_client_cpu_ms : float;
   fd_cal_server_cpu_ms : float;
   fd_cal_adv_server_cpu_ms : float;
+  fd_resumed_completed : int;
+  fd_early_data_bytes : int;
 }
 
 type farm_cell = {
@@ -173,6 +218,7 @@ type farm_cell = {
   f_policy : string;
   f_utilization : float;
   f_adv_fraction : float;
+  f_mix : string;
   f_data : (farm_cell_data, string) result;
 }
 
@@ -205,7 +251,9 @@ let data_of_farm_outcome ~id (o : Experiment.farm_outcome) =
     fd_benign_server_bytes = o.Experiment.fo_benign_server_bytes;
     fd_cal_client_cpu_ms = o.Experiment.fo_cal_client_cpu_ms;
     fd_cal_server_cpu_ms = o.Experiment.fo_cal_server_cpu_ms;
-    fd_cal_adv_server_cpu_ms = o.Experiment.fo_cal_adv_server_cpu_ms }
+    fd_cal_adv_server_cpu_ms = o.Experiment.fo_cal_adv_server_cpu_ms;
+    fd_resumed_completed = o.Experiment.fo_resumed_completed;
+    fd_early_data_bytes = o.Experiment.fo_early_data_bytes }
 
 (* ---- the registry -------------------------------------------------------- *)
 
@@ -290,6 +338,7 @@ let record_cell t (sp : Experiment.spec) result =
             m_kem = sp.Experiment.sp_kem.Pqc.Kem.name;
             m_sig = sp.Experiment.sp_sig.Pqc.Sigalg.name;
             m_scenario = sp.Experiment.sp_scenario.Scenario.name;
+            m_mix = sp.Experiment.sp_mix.Mix.name;
             m_buffering = buffering_name sp.Experiment.sp_buffering;
             m_standard = is_standard sp;
             m_data = Result.map (fun o -> data_of_outcome ~id o) result }
@@ -324,6 +373,7 @@ let record_farm_cell t (sp : Experiment.farm_spec) result =
             f_policy = sp.Experiment.fa_policy;
             f_utilization = sp.Experiment.fa_utilization;
             f_adv_fraction = sp.Experiment.fa_adv_fraction;
+            f_mix = sp.Experiment.fa_mix.Mix.name;
             f_data = Result.map (fun o -> data_of_farm_outcome ~id o) result }
         in
         t.farm_cells_rev <- cell :: t.farm_cells_rev
@@ -368,15 +418,34 @@ let json_of_dist d =
 let json_of_ledger l =
   Json.Obj (List.map (fun (lib, share) -> (lib, Json.Float share)) l)
 
+(* the resumption block (and the "mix" identity key) only exist for
+   mixed-workload cells, so every pre-mix artifact stays byte-identical
+   under schema /1 — the same stance farm_cells takes below *)
+let json_of_resumption r =
+  let opt_dist = function
+    | None -> Json.Null
+    | Some d -> json_of_dist d
+  in
+  Json.Obj
+    [ ("resumed_n", Json.Int r.rs_resumed_n);
+      ("full_n", Json.Int r.rs_full_n);
+      ("early_data_bytes", Json.Int r.rs_early_data_bytes);
+      ("resumed_total_ms", opt_dist r.rs_resumed_total);
+      ("full_total_ms", opt_dist r.rs_full_total);
+      ("resumed_server_bytes", opt_dist r.rs_resumed_server_bytes);
+      ("full_server_bytes", opt_dist r.rs_full_server_bytes) ]
+
 let json_of_cell c =
   let base =
     [ ("id", Json.String c.m_id);
       ("key", Json.String c.m_key);
       ("kem", Json.String c.m_kem);
       ("sig", Json.String c.m_sig);
-      ("scenario", Json.String c.m_scenario);
-      ("buffering", Json.String c.m_buffering);
-      ("standard", Json.Bool c.m_standard) ]
+      ("scenario", Json.String c.m_scenario) ]
+    @ (if c.m_mix = "full" then []
+       else [ ("mix", Json.String c.m_mix) ])
+    @ [ ("buffering", Json.String c.m_buffering);
+        ("standard", Json.Bool c.m_standard) ]
   in
   match c.m_data with
   | Error msg ->
@@ -386,7 +455,7 @@ let json_of_cell c =
       (base
       @ [ ( "data",
             Json.Obj
-              [ ("handshakes_per_minute", Json.Int d.cd_handshakes_per_minute);
+              ([ ("handshakes_per_minute", Json.Int d.cd_handshakes_per_minute);
                 ( "latency_ms",
                   Json.Obj
                     [ ("part_a", json_of_dist d.cd_part_a);
@@ -411,7 +480,11 @@ let json_of_cell c =
                       ("server_charges", Json.Int d.cd_server_cpu_charges);
                       ("client_ledger", json_of_ledger d.cd_client_ledger);
                       ("server_ledger", json_of_ledger d.cd_server_ledger) ]
-                ) ] ) ])
+                ) ]
+              @
+              match d.cd_resumption with
+              | None -> []
+              | Some r -> [ ("resumption", json_of_resumption r) ]) ) ])
 
 let json_of_farm_cell c =
   let base =
@@ -424,6 +497,7 @@ let json_of_farm_cell c =
       ("policy", Json.String c.f_policy);
       ("utilization", Json.Float c.f_utilization);
       ("adv_fraction", Json.Float c.f_adv_fraction) ]
+    @ if c.f_mix = "full" then [] else [ ("mix", Json.String c.f_mix) ]
   in
   match c.f_data with
   | Error msg ->
@@ -433,7 +507,7 @@ let json_of_farm_cell c =
       (base
       @ [ ( "data",
             Json.Obj
-              [ ( "load",
+              ([ ( "load",
                   Json.Obj
                     [ ("capacity_hs_s", Json.Float d.fd_capacity_hs_s);
                       ("offered_rate_hs_s", Json.Float d.fd_offered_rate);
@@ -473,7 +547,15 @@ let json_of_farm_cell c =
                     [ ("client_cpu_ms", Json.Float d.fd_cal_client_cpu_ms);
                       ("server_cpu_ms", Json.Float d.fd_cal_server_cpu_ms);
                       ( "adv_server_cpu_ms",
-                        Json.Float d.fd_cal_adv_server_cpu_ms ) ] ) ] ) ])
+                        Json.Float d.fd_cal_adv_server_cpu_ms ) ] ) ]
+              @
+              if c.f_mix = "full" then []
+              else
+                [ ( "resumption",
+                    Json.Obj
+                      [ ("completed", Json.Int d.fd_resumed_completed);
+                        ("early_data_bytes", Json.Int d.fd_early_data_bytes)
+                      ] ) ]) ) ])
 
 let to_json_string a =
   Json.to_string

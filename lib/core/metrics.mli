@@ -33,6 +33,19 @@ val dist : seed:string -> float list -> dist
     interval a pure function of the data).
     @raise Invalid_argument on the empty list. *)
 
+type resumption = {
+  rs_resumed_n : int;  (** sampled connections that resumed *)
+  rs_full_n : int;  (** sampled connections that ran the full handshake *)
+  rs_early_data_bytes : int;  (** 0-RTT bytes accepted, summed *)
+  rs_resumed_total : dist option;  (** total latency, resumed subset (ms) *)
+  rs_full_total : dist option;
+  rs_resumed_server_bytes : dist option;
+  rs_full_server_bytes : dist option;
+}
+(** Per-population split of a mixed-workload cell (Table 6): [None]
+    dists mean the mix's coin never produced that population within the
+    sample budget. *)
+
 type cell_data = {
   cd_handshakes_per_minute : int;
   cd_part_a : dist;  (** latencies in ms *)
@@ -53,6 +66,10 @@ type cell_data = {
   cd_server_cpu_charges : int;
   cd_client_ledger : (string * float) list;
   cd_server_ledger : (string * float) list;
+  cd_resumption : resumption option;
+      (** [Some] iff the cell ran a non-full {!Mix}; the serialized
+          artifact gains its "resumption" key (and the cell its "mix"
+          key) only then, so pre-mix artifacts stay byte-identical *)
 }
 
 type cell = {
@@ -63,6 +80,7 @@ type cell = {
   m_kem : string;
   m_sig : string;
   m_scenario : string;
+  m_mix : string;  (** {!Mix} name; ["full"] for pre-mix cells *)
   m_buffering : string;  (** ["push"] or ["buffered"] *)
   m_standard : bool;
       (** everything except kem/sig/scenario/buffering/seed at the
@@ -104,6 +122,8 @@ type farm_cell_data = {
   fd_cal_client_cpu_ms : float;
   fd_cal_server_cpu_ms : float;
   fd_cal_adv_server_cpu_ms : float;
+  fd_resumed_completed : int;  (** completed connections that resumed *)
+  fd_early_data_bytes : int;  (** 0-RTT bytes accepted across the farm *)
 }
 
 type farm_cell = {
@@ -116,6 +136,7 @@ type farm_cell = {
   f_policy : string;
   f_utilization : float;
   f_adv_fraction : float;
+  f_mix : string;  (** {!Mix} name; ["full"] for pre-mix cells *)
   f_data : (farm_cell_data, string) result;
 }
 

@@ -1,0 +1,36 @@
+type t = {
+  name : string;
+  label : string;
+  resumed : float;
+  early_data : bool;
+  description : string;
+}
+
+let full =
+  { name = "full"; label = "100% full"; resumed = 0.; early_data = false;
+    description = "every connection runs the paper's full 1-RTT handshake" }
+
+let all =
+  [ full;
+    { name = "resumed50"; label = "50% resumed"; resumed = 0.5;
+      early_data = false;
+      description = "every other connection resumes with a PSK ticket" };
+    { name = "resumed90"; label = "90% resumed"; resumed = 0.9;
+      early_data = false;
+      description =
+        "steady-state web workload: 9 of 10 connections resume" };
+    { name = "resumed99"; label = "99% resumed"; resumed = 0.99;
+      early_data = false;
+      description = "long-lived client population, tickets almost never \
+                     expire" };
+    { name = "resumed90-0rtt"; label = "90% resumed + 0-RTT";
+      resumed = 0.9; early_data = true;
+      description =
+        "as resumed90, with resuming clients sending 0-RTT early data" } ]
+
+let find name =
+  match List.find_opt (fun m -> m.name = name) all with
+  | Some m -> m
+  | None -> invalid_arg ("Mix: unknown workload mix " ^ name)
+
+let is_full m = m.name = full.name

@@ -1,0 +1,25 @@
+(** Workload mixes: the fraction of connections that resume with a PSK
+    ticket instead of running the paper's full handshake, plus whether
+    resuming clients send 0-RTT early data. A mix is a campaign
+    dimension — cells carry it in their spec, fingerprint and label, and
+    the [full] mix reproduces the historical cells byte-for-byte. *)
+
+type t = {
+  name : string;  (** stable identifier, keyed into fingerprints *)
+  label : string;  (** short human rendering for table headers *)
+  resumed : float;  (** fraction of connections that resume, in [0,1] *)
+  early_data : bool;  (** resuming clients send 0-RTT early data *)
+  description : string;
+}
+
+val full : t
+(** 0% resumed: the paper's workload. Cells with this mix are bit-
+    identical to cells that predate the mix dimension. *)
+
+val all : t list
+(** Every registered mix, [full] first (stable order for listings). *)
+
+val find : string -> t
+(** @raise Invalid_argument on an unknown name. *)
+
+val is_full : t -> bool

@@ -531,6 +531,86 @@ let table5_smoke ?(seed = "table5") ?(exec = Exec.sequential) () =
       ~utilizations:[ 0.90 ] ~adv_fractions:[ 0.; 0.3 ]
       ("kyber512", "sphincs128")
 
+(* ---- Table 6 ------------------------------------------------------------- *)
+
+(* steady-state amortization under workload mixes: the reference pair,
+   a mid lattice pair and the hash-based outlier. The outlier is the
+   point of the table — at 90 % resumption its huge per-handshake
+   server flight collapses toward the KA-only cost, because
+   Certificate/CertificateVerify leave the wire on resumed connections *)
+let table6_pairs =
+  [ ("x25519", "rsa:2048"); ("kyber768", "dilithium3");
+    ("kyber512", "sphincs128") ]
+
+let table6_grid ~seed ~exec ~pairs ~mixes ~max_samples =
+  let specs =
+    List.concat_map
+      (fun (k, s) ->
+        List.map
+          (fun mix ->
+            Experiment.spec ~seed ~max_samples ~mix
+              (Pqc.Registry.find_kem k) (Pqc.Registry.find_sig s))
+          mixes)
+      pairs
+  in
+  let rows =
+    List.map2
+      (fun sp r ->
+        match r with
+        | Ok (o : Experiment.outcome) ->
+          let samples = o.Experiment.samples in
+          let resumed, full =
+            List.partition (fun s -> s.Experiment.resumed) samples
+          in
+          let p50 subset =
+            match subset with
+            | [] -> Printf.sprintf "%8s" (dash 8)
+            | _ ->
+              Printf.sprintf "%8.2f"
+                (Stats.median
+                   (List.map (fun s -> s.Experiment.total_ms) subset))
+          in
+          let mean_i f =
+            Stats.mean (List.map (fun s -> float_of_int (f s)) samples)
+          in
+          let early =
+            List.fold_left
+              (fun acc s -> acc + s.Experiment.early_data_bytes)
+              0 samples
+          in
+          Printf.sprintf "%-15s %-12s %-20s %s %s %9.0f %9.0f %8.2f %7d %7d"
+            o.Experiment.kem_name o.Experiment.sig_name
+            sp.Experiment.sp_mix.Mix.label (p50 full) (p50 resumed)
+            (mean_i (fun s -> s.Experiment.client_bytes))
+            (mean_i (fun s -> s.Experiment.server_bytes))
+            o.Experiment.server_cpu_ms o.Experiment.handshakes_per_minute
+            early
+        | Error _ ->
+          Printf.sprintf
+            "%-15s %-12s %-20s %8s %8s %9s %9s %8s %7s %7s  (cell failed)"
+            sp.Experiment.sp_kem.Pqc.Kem.name
+            sp.Experiment.sp_sig.Pqc.Sigalg.name
+            sp.Experiment.sp_mix.Mix.label (dash 8) (dash 8) (dash 9)
+            (dash 9) (dash 8) (dash 7) (dash 7))
+      specs (Exec.cells exec specs)
+  in
+  buf_table
+    "Table 6: steady-state cost under workload mixes (PSK resumption, 0-RTT)"
+    (Printf.sprintf "%-15s %-12s %-20s %8s %8s %9s %9s %8s %7s %7s" "KA" "SA"
+       "mix" "full p50" "res p50" "cl B/hs" "sv B/hs" "sv ms" "hs/min"
+       "0RTT B")
+    rows
+
+let table6 ?(seed = "table6") ?(exec = Exec.sequential) () =
+  table6_grid ~seed ~exec ~pairs:table6_pairs ~mixes:Mix.all ~max_samples:60
+
+(* the CI gate's campaign: two pairs, three mixes, a dozen samples *)
+let table6_smoke ?(seed = "table6") ?(exec = Exec.sequential) () =
+  table6_grid ~seed ~exec
+    ~pairs:[ ("x25519", "rsa:2048"); ("kyber512", "sphincs128") ]
+    ~mixes:[ Mix.full; Mix.find "resumed90"; Mix.find "resumed90-0rtt" ]
+    ~max_samples:12
+
 (* ---- ablations ------------------------------------------------------------ *)
 
 let ablation_buffer ?(seed = "ablation") ?(exec = Exec.sequential) () =

@@ -37,6 +37,19 @@ val table5_smoke : ?seed:string -> ?exec:Exec.t -> unit -> string
 (** The CI gate's Table 5: identical structure with the farm sizes cut
     (2 pairs, 2 profiles, hundreds of connections) for wall clock. *)
 
+val table6 : ?seed:string -> ?exec:Exec.t -> unit -> string
+(** Beyond the paper, section 2.2 made measurable: steady-state
+    per-handshake cost under {!Mix} workload mixes (50/90/99 %
+    resumption, optionally with 0-RTT), per KA x SA pair. Resumed
+    connections run the wire-accurate psk_dhe_ke flow — no
+    Certificate/CertificateVerify — so the hash-based outlier's server
+    bytes collapse toward the KA-only cost as the resumed fraction
+    grows, while the full-handshake columns stay comparable to
+    Table 2. *)
+
+val table6_smoke : ?seed:string -> ?exec:Exec.t -> unit -> string
+(** The CI gate's Table 6: 2 pairs x 3 mixes x 12 samples. *)
+
 val ablation_buffer : ?seed:string -> ?exec:Exec.t -> unit -> string
 (** Extra (section 4 / 5.2 design lever): handshake latency as a
     function of the OpenSSL buffer limit, under both flight behaviours. *)

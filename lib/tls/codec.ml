@@ -27,6 +27,7 @@ end
 module Inbound = struct
   type event =
     | Handshake_message of string
+    | Application_data of string
     | Change_cipher_spec
     | Need_more_data
 
@@ -35,11 +36,12 @@ module Inbound = struct
     hs : Consumable.t;
     mutable crypt : Record.t option;
     mutable pending_ccs : bool;
+    mutable pending_app : string list;  (* arrival order *)
   }
 
   let create () =
     { raw = Consumable.create (); hs = Consumable.create (); crypt = None;
-      pending_ccs = false }
+      pending_ccs = false; pending_app = [] }
 
   let feed t s = Consumable.add t.raw s
   let enable_decryption t r = t.crypt <- Some r
@@ -76,6 +78,10 @@ module Inbound = struct
             | Some (Wire.Content_type.Change_cipher_spec, _) ->
               t.pending_ccs <- true;
               true
+            | Some (Wire.Content_type.Application_data, frag) ->
+              (* 0-RTT: early application data under the early keys *)
+              t.pending_app <- t.pending_app @ [ frag ];
+              true
             | Some _ -> raise (Wire.Decode_error "unexpected inner type")))))
 
   let next t =
@@ -84,20 +90,24 @@ module Inbound = struct
         t.pending_ccs <- false;
         Change_cipher_spec
       end
-      else begin
-        match Consumable.peek t.hs 4 with
-        | Some hdr ->
-          let len =
-            (Char.code hdr.[1] lsl 16) lor (Char.code hdr.[2] lsl 8)
-            lor Char.code hdr.[3]
-          in
-          (match Consumable.peek t.hs (4 + len) with
-          | Some msg ->
-            Consumable.consume t.hs (4 + len);
-            Handshake_message msg
+      else
+        match t.pending_app with
+        | frag :: rest ->
+          t.pending_app <- rest;
+          Application_data frag
+        | [] -> (
+          match Consumable.peek t.hs 4 with
+          | Some hdr ->
+            let len =
+              (Char.code hdr.[1] lsl 16) lor (Char.code hdr.[2] lsl 8)
+              lor Char.code hdr.[3]
+            in
+            (match Consumable.peek t.hs (4 + len) with
+            | Some msg ->
+              Consumable.consume t.hs (4 + len);
+              Handshake_message msg
+            | None -> if pull_record t then go () else Need_more_data)
           | None -> if pull_record t then go () else Need_more_data)
-        | None -> if pull_record t then go () else Need_more_data
-      end
     in
     go ()
 end
@@ -124,6 +134,19 @@ let fragment_encrypted crypt msg =
     let len = min max_fragment (n - !pos) in
     Buffer.add_string buf
       (Record.seal crypt Wire.Content_type.Handshake (String.sub msg !pos len));
+    pos := !pos + len
+  done;
+  Buffer.contents buf
+
+let fragment_app crypt msg =
+  let buf = Buffer.create (String.length msg + 64) in
+  let n = String.length msg in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min max_fragment (n - !pos) in
+    Buffer.add_string buf
+      (Record.seal crypt Wire.Content_type.Application_data
+         (String.sub msg !pos len));
     pos := !pos + len
   done;
   Buffer.contents buf

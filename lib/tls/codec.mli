@@ -22,6 +22,8 @@ module Inbound : sig
 
   type event =
     | Handshake_message of string  (** complete message, header included *)
+    | Application_data of string
+        (** decrypted early (0-RTT) or application payload fragment *)
     | Change_cipher_spec
     | Need_more_data
 
@@ -46,3 +48,7 @@ val fragment_plaintext : string -> string
 val fragment_encrypted : Record.t -> string -> string
 (** Wrap into encrypted application_data records, advancing the write
     state. *)
+
+val fragment_app : Record.t -> string -> string
+(** Like {!fragment_encrypted} but with inner type application_data —
+    0-RTT and post-handshake payload bytes. *)

@@ -21,8 +21,31 @@ let derive_secret ~secret ~label ~transcript_hash =
 
 let empty_hash = hash.Crypto.Hmac.digest ""
 
-let handshake_secrets ~shared_secret ~hello_transcript_hash =
-  let early = Crypto.Hkdf.extract hash ~salt:"" ~ikm:zeros in
+(* The early-secret extract of the RFC's diagram: [ikm] is the PSK when
+   resuming and all-zero otherwise, so the no-PSK output is unchanged. *)
+let early_secret ?psk () =
+  Crypto.Hkdf.extract hash ~salt:"" ~ikm:(Option.value ~default:zeros psk)
+
+let binder_key ~early_secret =
+  (* resumption PSKs only: the "res binder" branch of section 7.1 *)
+  derive_secret ~secret:early_secret ~label:"res binder"
+    ~transcript_hash:empty_hash
+
+let binder_mac ~binder_key ~truncated_transcript_hash =
+  (* the binder is computed exactly like a Finished MAC (section 4.2.11.2),
+     over the transcript of the ClientHello truncated before the binders *)
+  let k =
+    hkdf_expand_label ~secret:binder_key ~label:"finished" ~context:""
+      hash.Crypto.Hmac.digest_size
+  in
+  Crypto.Hmac.hmac hash ~key:k truncated_transcript_hash
+
+let client_early_traffic ~early_secret ~client_hello_hash =
+  derive_secret ~secret:early_secret ~label:"c e traffic"
+    ~transcript_hash:client_hello_hash
+
+let handshake_secrets ?psk ~shared_secret ~hello_transcript_hash () =
+  let early = early_secret ?psk () in
   let derived = derive_secret ~secret:early ~label:"derived" ~transcript_hash:empty_hash in
   let hs = Crypto.Hkdf.extract hash ~salt:derived ~ikm:shared_secret in
   let client_handshake_traffic =
@@ -56,3 +79,13 @@ let application_secrets ~master ~finished_transcript_hash =
       ~transcript_hash:finished_transcript_hash,
     derive_secret ~secret:master ~label:"s ap traffic"
       ~transcript_hash:finished_transcript_hash )
+
+let resumption_master ~master ~finished_transcript_hash =
+  (* over the transcript including the client Finished (section 7.1) *)
+  derive_secret ~secret:master ~label:"res master"
+    ~transcript_hash:finished_transcript_hash
+
+let resumption_psk ~resumption_master ~ticket_nonce =
+  (* PSK associated with one NewSessionTicket (section 4.6.1) *)
+  hkdf_expand_label ~secret:resumption_master ~label:"resumption"
+    ~context:ticket_nonce hash.Crypto.Hmac.digest_size

@@ -15,10 +15,33 @@ val hkdf_expand_label :
 
 val derive_secret : secret:string -> label:string -> transcript_hash:string -> string
 
+val empty_hash : string
+(** Transcript hash of the empty string (Derive-Secret's "" context). *)
+
+val early_secret : ?psk:string -> unit -> string
+(** HKDF-Extract(0, PSK) — the top of the key-schedule diagram. Without
+    [?psk] this is the full-handshake early secret (ikm all-zero). *)
+
+val binder_key : early_secret:string -> string
+(** Derive-Secret(early, "res binder", "") for resumption PSKs. *)
+
+val binder_mac : binder_key:string -> truncated_transcript_hash:string -> string
+(** The PskBinderEntry MAC (section 4.2.11.2): a Finished-style HMAC over
+    the hash of the ClientHello truncated before the binders list. *)
+
+val client_early_traffic : early_secret:string -> client_hello_hash:string -> string
+(** Derive-Secret(early, "c e traffic", CH) — keys 0-RTT application data. *)
+
 val handshake_secrets :
-  shared_secret:string -> hello_transcript_hash:string -> secrets
-(** Early secret (no PSK) -> handshake secret -> traffic secrets and the
-    master secret, exactly as the RFC's diagram. *)
+  ?psk:string ->
+  shared_secret:string ->
+  hello_transcript_hash:string ->
+  unit ->
+  secrets
+(** Early secret (PSK when resuming, none otherwise) -> handshake secret
+    -> traffic secrets and the master secret, exactly as the RFC's
+    diagram. The no-PSK output is byte-identical to the historical
+    hard-coded [ikm:zeros] path. *)
 
 type traffic_keys = { key : string; iv : string }
 
@@ -30,3 +53,11 @@ val finished_mac : traffic_secret:string -> transcript_hash:string -> string
 val application_secrets :
   master:string -> finished_transcript_hash:string -> string * string
 (** [(client_app_traffic, server_app_traffic)]. *)
+
+val resumption_master :
+  master:string -> finished_transcript_hash:string -> string
+(** Derive-Secret(master, "res master", transcript incl. client Finished). *)
+
+val resumption_psk : resumption_master:string -> ticket_nonce:string -> string
+(** The PSK bound to one NewSessionTicket: HKDF-Expand-Label(res master,
+    "resumption", ticket_nonce) (section 4.6.1). *)

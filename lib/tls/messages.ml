@@ -1,12 +1,20 @@
 module W = Wire
 module HT = Wire.Handshake_type
 
+type psk_offer = {
+  psk_identity : string;  (* the opaque (STEK-sealed) ticket *)
+  psk_obfuscated_age : int;
+  psk_binder : string;  (* 32-byte HMAC over the truncated CH transcript *)
+}
+
 type client_hello = {
   random : string;
   session_id : string;
   group : string;
   key_share : string;
   sig_algs : string list;
+  psk : psk_offer option;
+  early_data : bool;
 }
 
 type server_hello = {
@@ -14,6 +22,15 @@ type server_hello = {
   sh_session_id : string;
   sh_group : string;
   sh_key_share : string;
+  sh_psk_selected : bool;  (* pre_shared_key { selected_identity = 0 } *)
+}
+
+type new_session_ticket = {
+  nst_lifetime : int;  (* seconds, u32 *)
+  nst_age_add : int;  (* u32 *)
+  nst_nonce : string;
+  nst_ticket : string;  (* opaque to the client *)
+  nst_max_early_data : int;  (* 0 = ticket does not permit 0-RTT *)
 }
 
 type certificate_verify = { cv_algorithm : string; cv_signature : string }
@@ -49,17 +66,47 @@ let client_extensions ch =
   let key_share =
     extension 51 (W.vec16 (Crypto.Bytesx.u16_be 0x0199 ^ W.vec16 ch.key_share))
   in
+  (* psk_key_exchange_modes: psk_dhe_ke only (section 4.2.9) *)
   let psk_modes = extension 45 (W.vec8 "\x01") in
   let misc =
-    (* session ticket, EMS, EtM, record size limit: fixed small bodies *)
-    extension 35 "" ^ extension 23 "" ^ extension 22 "" ^ extension 28 "\x40\x01"
+    (* EMS, EtM, record size limit: fixed small bodies. The legacy
+       session_ticket (35) stub is only advertised on full handshakes:
+       offering a real TLS 1.3 PSK alongside a fake empty ticket body
+       would be a wire lie. *)
+    (match ch.psk with None -> extension 35 "" | Some _ -> "")
+    ^ extension 23 "" ^ extension 22 "" ^ extension 28 "\x40\x01"
   in
   (* group and algorithm names ride in a private extension so the peer
      can resolve the exact algorithm without a numeric registry *)
   let names = extension 0xfd00 (W.vec8 ch.group ^ W.vec8 (String.concat "," ch.sig_algs)) in
+  let early_data = if ch.early_data then extension 42 "" else "" in
+  (* pre_shared_key MUST be the last extension (section 4.2.11): the
+     binder MAC covers everything before it *)
+  let pre_shared_key =
+    match ch.psk with
+    | None -> ""
+    | Some p ->
+      let identity =
+        W.vec16 p.psk_identity ^ Crypto.Bytesx.u32_be p.psk_obfuscated_age
+      in
+      extension 41 (W.vec16 identity ^ W.vec16 (W.vec8 p.psk_binder))
+  in
   W.vec16
     (sni ^ supported_versions ^ groups ^ sig_algs ^ key_share ^ psk_modes
-   ^ misc ^ names)
+   ^ misc ^ names ^ early_data ^ pre_shared_key)
+
+(* the wire size of the binders list: vec16 [ vec8 (32-byte binder) ] *)
+let binders_length = 2 + 1 + 32
+
+let assert_psk_last exts =
+  (* encoder self-check for the section 4.2.11 MUST *)
+  let r = W.Reader.of_string exts in
+  let last = ref None in
+  while W.Reader.remaining r > 0 do
+    last := Some (W.Reader.u16 r);
+    ignore (W.Reader.vec16 r)
+  done;
+  assert (!last = Some 41)
 
 let encode_client_hello ch =
   let body =
@@ -67,19 +114,37 @@ let encode_client_hello ch =
     ^ W.vec8 "\x00" (* null compression *)
     ^ client_extensions ch
   in
+  (match ch.psk with
+  | None -> ()
+  | Some p ->
+    assert (String.length p.psk_binder = 32);
+    let exts = client_extensions ch in
+    assert_psk_last (String.sub exts 2 (String.length exts - 2)));
   W.handshake HT.Client_hello body
 
-let find_extension exts ty =
+let truncated_client_hello ch =
+  (* the binder transcript: the encoded CH minus the binders list
+     (section 4.2.11.2) *)
+  assert (ch.psk <> None);
+  let full = encode_client_hello ch in
+  String.sub full 0 (String.length full - binders_length)
+
+let find_extension_opt exts ty =
   let r = W.Reader.of_string exts in
   let rec go () =
-    if W.Reader.remaining r = 0 then raise (W.Decode_error "extension missing")
+    if W.Reader.remaining r = 0 then None
     else begin
       let t = W.Reader.u16 r in
       let body = W.Reader.vec16 r in
-      if t = ty then body else go ()
+      if t = ty then Some body else go ()
     end
   in
   go ()
+
+let find_extension exts ty =
+  match find_extension_opt exts ty with
+  | Some body -> body
+  | None -> raise (W.Decode_error "extension missing")
 
 let body msg =
   if String.length msg < 4 then raise (W.Decode_error "short handshake message");
@@ -110,15 +175,45 @@ let decode_client_hello msg =
   let names = W.Reader.of_string (find_extension exts 0xfd00) in
   let group = W.Reader.vec8 names in
   let sig_algs = String.split_on_char ',' (W.Reader.vec8 names) in
-  { random; session_id; group; key_share; sig_algs }
+  let psk =
+    match find_extension_opt exts 41 with
+    | None -> None
+    | Some body ->
+      (* receiver-side section 4.2.11 enforcement: pre_shared_key must
+         close the extension block *)
+      let er = W.Reader.of_string exts in
+      let last = ref (-1) in
+      while W.Reader.remaining er > 0 do
+        last := W.Reader.u16 er;
+        ignore (W.Reader.vec16 er)
+      done;
+      if !last <> 41 then
+        raise (W.Decode_error "pre_shared_key is not the last extension");
+      let r = W.Reader.of_string body in
+      let ids = W.Reader.of_string (W.Reader.vec16 r) in
+      let psk_identity = W.Reader.vec16 ids in
+      let psk_obfuscated_age = W.Reader.u32 ids in
+      W.Reader.expect_end ids;
+      let binders = W.Reader.of_string (W.Reader.vec16 r) in
+      let psk_binder = W.Reader.vec8 binders in
+      W.Reader.expect_end binders;
+      W.Reader.expect_end r;
+      Some { psk_identity; psk_obfuscated_age; psk_binder }
+  in
+  let early_data = find_extension_opt exts 42 <> None in
+  { random; session_id; group; key_share; sig_algs; psk; early_data }
 
 let server_extensions sh =
   let supported_versions = extension 43 "\x03\x04" in
   let key_share =
     extension 51 (Crypto.Bytesx.u16_be 0x0199 ^ W.vec16 sh.sh_key_share)
   in
+  (* pre_shared_key: the accepted identity index (always 0 — one offer) *)
+  let psk =
+    if sh.sh_psk_selected then extension 41 (Crypto.Bytesx.u16_be 0) else ""
+  in
   let names = extension 0xfd00 (W.vec8 sh.sh_group) in
-  W.vec16 (supported_versions ^ key_share ^ names)
+  W.vec16 (supported_versions ^ key_share ^ psk ^ names)
 
 let encode_server_hello sh =
   let body =
@@ -147,11 +242,22 @@ let decode_server_hello msg =
   in
   let names = W.Reader.of_string (find_extension exts 0xfd00) in
   let sh_group = W.Reader.vec8 names in
-  { sh_random; sh_session_id; sh_group; sh_key_share }
+  let sh_psk_selected = find_extension_opt exts 41 <> None in
+  { sh_random; sh_session_id; sh_group; sh_key_share; sh_psk_selected }
 
-let encode_encrypted_extensions () =
-  (* server name ack + ALPN-free empty extension block *)
-  W.handshake HT.Encrypted_extensions (W.vec16 (extension 0 ""))
+let encode_encrypted_extensions ?(early_data_accepted = false) () =
+  (* server name ack + ALPN-free empty extension block; the early_data
+     ack (42) when the server accepts the client's 0-RTT offer *)
+  let ed = if early_data_accepted then extension 42 "" else "" in
+  W.handshake HT.Encrypted_extensions (W.vec16 (extension 0 "" ^ ed))
+
+let ee_early_data_accepted msg =
+  if handshake_type msg <> HT.Encrypted_extensions then
+    raise (W.Decode_error "not an EncryptedExtensions");
+  let r = W.Reader.of_string (body msg) in
+  let exts = W.Reader.vec16 r in
+  W.Reader.expect_end r;
+  find_extension_opt exts 42 <> None
 
 let encode_certificate cert =
   (* certificate_request_context (empty) + one CertificateEntry with an
@@ -185,6 +291,40 @@ let decode_certificate_verify msg =
 let cv_signed_content ~transcript_hash =
   String.make 64 ' ' ^ "TLS 1.3, server CertificateVerify" ^ "\x00"
   ^ transcript_hash
+
+let encode_new_session_ticket nst =
+  let exts =
+    if nst.nst_max_early_data > 0 then
+      extension 42 (Crypto.Bytesx.u32_be nst.nst_max_early_data)
+    else ""
+  in
+  W.handshake HT.New_session_ticket
+    (Crypto.Bytesx.u32_be nst.nst_lifetime
+    ^ Crypto.Bytesx.u32_be nst.nst_age_add
+    ^ W.vec8 nst.nst_nonce ^ W.vec16 nst.nst_ticket ^ W.vec16 exts)
+
+let decode_new_session_ticket msg =
+  if handshake_type msg <> HT.New_session_ticket then
+    raise (W.Decode_error "not a NewSessionTicket");
+  let r = W.Reader.of_string (body msg) in
+  let nst_lifetime = W.Reader.u32 r in
+  let nst_age_add = W.Reader.u32 r in
+  let nst_nonce = W.Reader.vec8 r in
+  let nst_ticket = W.Reader.vec16 r in
+  let exts = W.Reader.vec16 r in
+  W.Reader.expect_end r;
+  let nst_max_early_data =
+    match find_extension_opt exts 42 with
+    | None -> 0
+    | Some body ->
+      let er = W.Reader.of_string body in
+      let v = W.Reader.u32 er in
+      W.Reader.expect_end er;
+      v
+  in
+  { nst_lifetime; nst_age_add; nst_nonce; nst_ticket; nst_max_early_data }
+
+let encode_end_of_early_data () = W.handshake HT.End_of_early_data ""
 
 let encode_finished mac = W.handshake HT.Finished mac
 

@@ -41,6 +41,8 @@ module Handshake_type = struct
   type t =
     | Client_hello
     | Server_hello
+    | New_session_ticket
+    | End_of_early_data
     | Encrypted_extensions
     | Certificate
     | Certificate_verify
@@ -49,6 +51,8 @@ module Handshake_type = struct
   let to_byte = function
     | Client_hello -> 1
     | Server_hello -> 2
+    | New_session_ticket -> 4
+    | End_of_early_data -> 5
     | Encrypted_extensions -> 8
     | Certificate -> 11
     | Certificate_verify -> 15
@@ -57,6 +61,8 @@ module Handshake_type = struct
   let of_byte = function
     | 1 -> Client_hello
     | 2 -> Server_hello
+    | 4 -> New_session_ticket
+    | 5 -> End_of_early_data
     | 8 -> Encrypted_extensions
     | 11 -> Certificate
     | 15 -> Certificate_verify
@@ -66,6 +72,8 @@ module Handshake_type = struct
   let label = function
     | Client_hello -> "CH"
     | Server_hello -> "SH"
+    | New_session_ticket -> "NST"
+    | End_of_early_data -> "EOED"
     | Encrypted_extensions -> "EE"
     | Certificate -> "CERT"
     | Certificate_verify -> "CV"
@@ -97,6 +105,13 @@ module Reader = struct
   let u24 t =
     let s = bytes t 3 in
     (Char.code s.[0] lsl 16) lor (Char.code s.[1] lsl 8) lor Char.code s.[2]
+
+  let u32 t =
+    let s = bytes t 4 in
+    (Char.code s.[0] lsl 24)
+    lor (Char.code s.[1] lsl 16)
+    lor (Char.code s.[2] lsl 8)
+    lor Char.code s.[3]
 
   let vec8 t = bytes t (u8 t)
   let vec16 t = bytes t (u16 t)

@@ -26,6 +26,8 @@ module Handshake_type : sig
   type t =
     | Client_hello
     | Server_hello
+    | New_session_ticket
+    | End_of_early_data
     | Encrypted_extensions
     | Certificate
     | Certificate_verify
@@ -47,6 +49,7 @@ module Reader : sig
   val u8 : t -> int
   val u16 : t -> int
   val u24 : t -> int
+  val u32 : t -> int
   val bytes : t -> int -> string
   val vec8 : t -> string
   val vec16 : t -> string

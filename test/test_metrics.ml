@@ -202,6 +202,71 @@ let test_cell_identity_rules () =
   Alcotest.(check bool) "non-default knob is not standard" false
     (List.nth a.Metrics.a_cells 1).Metrics.m_standard
 
+(* ---- mix cells (Table 6) ----------------------------------------------------- *)
+
+let mix_grid seed =
+  List.map
+    (fun m ->
+      Experiment.spec ~seed ~max_samples:10 ~mix:m (kem "kyber768")
+        (sa "dilithium3"))
+    [ Mix.full; Mix.find "resumed90"; Mix.find "resumed90-0rtt" ]
+
+let mix_artifact_string ~jobs ~seed =
+  let exec = Exec.create ~jobs () in
+  let results = Exec.cells exec (mix_grid seed) in
+  Alcotest.(check int) "all cells ok" 3
+    (List.length (List.filter Result.is_ok results));
+  Metrics.to_json_string (Metrics.artifact exec.Exec.metrics ~seed)
+
+let test_mix_cells_in_artifact () =
+  (* the full mix is the identity: same fingerprint as a pre-mix spec,
+     so historical cache entries and artifacts keep matching *)
+  let sp = Experiment.spec ~seed:"mix-id" (kem "x25519") (sa "rsa:2048") in
+  let sp_full =
+    Experiment.spec ~seed:"mix-id" ~mix:Mix.full (kem "x25519") (sa "rsa:2048")
+  in
+  Alcotest.(check string) "full mix keeps the pre-mix fingerprint"
+    (Experiment.spec_fingerprint sp)
+    (Experiment.spec_fingerprint sp_full);
+  let seed = "metrics-mix" in
+  let a1 = mix_artifact_string ~jobs:1 ~seed in
+  let a4 = mix_artifact_string ~jobs:4 ~seed in
+  Alcotest.(check string) "jobs=1 and jobs=4 byte-identical" a1 a4;
+  let p = parse_artifact a1 in
+  Alcotest.(check int) "three cells" 3 (List.length p.Metrics.p_cells);
+  Alcotest.(check (list string)) "self-diff is clean" []
+    (Metrics.diff p (parse_artifact a4));
+  let has c k = List.mem_assoc k c.Metrics.p_metrics in
+  (match p.Metrics.p_cells with
+  | [ full_cell; r90; r90_0rtt ] ->
+    (* all three carry ~max_samples, so none is "standard"; what matters
+       is that only the mixed cells grow the resumption block *)
+    Alcotest.(check bool) "full cell has no resumption block" false
+      (has full_cell "data.resumption.resumed_n");
+    List.iter
+      (fun (c : Metrics.p_cell) ->
+        Alcotest.(check bool) (c.Metrics.p_key ^ " is not standard") false
+          c.Metrics.p_standard;
+        Alcotest.(check bool) (c.Metrics.p_key ^ " splits populations") true
+          (has c "data.resumption.resumed_n"
+          && has c "data.resumption.full_n"
+          && has c "data.resumption.resumed_server_bytes.p50");
+        let v k = List.assoc k c.Metrics.p_metrics in
+        Alcotest.(check (float 0.)) "populations sum to the sample budget"
+          10.
+          (v "data.resumption.resumed_n" +. v "data.resumption.full_n");
+        Alcotest.(check bool) "resumed server flight is cheaper" true
+          (v "data.resumption.resumed_server_bytes.p50"
+          < v "data.resumption.full_server_bytes.p50"))
+      [ r90; r90_0rtt ];
+    Alcotest.(check (float 0.)) "no 0-RTT without the 0-RTT mix" 0.
+      (List.assoc "data.resumption.early_data_bytes" r90.Metrics.p_metrics);
+    Alcotest.(check bool) "0-RTT mix accepts early data" true
+      (List.assoc "data.resumption.early_data_bytes"
+         r90_0rtt.Metrics.p_metrics
+      > 0.)
+  | _ -> Alcotest.fail "expected exactly the three mix cells")
+
 (* ---- drift detection --------------------------------------------------------- *)
 
 let perturb ~cell_key ~metric ~factor (a : Metrics.p_artifact) =
@@ -322,6 +387,8 @@ let suites =
           test_registry_and_health;
         Alcotest.test_case "cell identity: dedup + label clash" `Slow
           test_cell_identity_rules;
+        Alcotest.test_case "mix cells: identity, split, byte-identity" `Slow
+          test_mix_cells_in_artifact;
         Alcotest.test_case "diff: drift, tolerance, missing cells" `Slow
           test_diff_catches_drift;
         Alcotest.test_case "failed cells serialize and diff" `Quick

@@ -37,7 +37,9 @@ let test_client_hello_roundtrip () =
           session_id = Crypto.Drbg.generate rng 32;
           group = kem_name;
           key_share = kp.Pqc.Kem.public;
-          sig_algs = [ "rsa:2048"; "dilithium3" ] }
+          sig_algs = [ "rsa:2048"; "dilithium3" ];
+          psk = None;
+          early_data = false }
       in
       let enc = Tls.Messages.encode_client_hello ch in
       let dec = Tls.Messages.decode_client_hello enc in
@@ -54,7 +56,8 @@ let test_server_hello_roundtrip () =
     { Tls.Messages.sh_random = Crypto.Drbg.generate rng 32;
       sh_session_id = Crypto.Drbg.generate rng 32;
       sh_group = "kyber768";
-      sh_key_share = Crypto.Drbg.generate rng 1088 }
+      sh_key_share = Crypto.Drbg.generate rng 1088;
+      sh_psk_selected = false }
   in
   let dec = Tls.Messages.decode_server_hello (Tls.Messages.encode_server_hello sh) in
   Alcotest.(check bool) "roundtrip" true (dec = sh)
@@ -115,15 +118,15 @@ let test_null_records () =
 let test_key_schedule () =
   let ss = Crypto.Sha256.digest "shared" in
   let th = Crypto.Sha256.digest "transcript" in
-  let s1 = Tls.Key_schedule.handshake_secrets ~shared_secret:ss ~hello_transcript_hash:th in
-  let s2 = Tls.Key_schedule.handshake_secrets ~shared_secret:ss ~hello_transcript_hash:th in
+  let s1 = Tls.Key_schedule.handshake_secrets ~shared_secret:ss ~hello_transcript_hash:th () in
+  let s2 = Tls.Key_schedule.handshake_secrets ~shared_secret:ss ~hello_transcript_hash:th () in
   Alcotest.(check bool) "deterministic" true (s1 = s2);
   Alcotest.(check bool) "client <> server secret" true
     (s1.Tls.Key_schedule.client_handshake_traffic
     <> s1.Tls.Key_schedule.server_handshake_traffic);
   let other =
     Tls.Key_schedule.handshake_secrets ~shared_secret:(Crypto.Sha256.digest "x")
-      ~hello_transcript_hash:th
+      ~hello_transcript_hash:th ()
   in
   Alcotest.(check bool) "secret-sensitive" true
     (other.Tls.Key_schedule.master <> s1.Tls.Key_schedule.master);
@@ -137,6 +140,158 @@ let test_key_schedule () =
       ~label:"derived" ~context:(Crypto.Sha256.digest "") 32
   in
   Alcotest.(check int) "expand-label length" 32 (String.length label_out)
+
+(* ---- resumption: key-schedule vectors, binders, tickets ---------------------------- *)
+
+let hex = Crypto.Bytesx.of_hex
+
+let test_key_schedule_vectors () =
+  (* RFC 8446 key schedule on SHA-256: Extract(salt "", ikm zeros) *)
+  Alcotest.(check bool) "no-PSK early secret" true
+    (Tls.Key_schedule.early_secret ()
+    = hex "33ad0a1c607ec03b09e6cd9893680ce210adf300aa1f2660e1b22e10f170f92a");
+  (* RFC 8448 section 4 (resumed handshake): the resumption PSK and the
+     early secret extracted from it *)
+  let psk =
+    hex "4ecd0eb6ec3b4d87f5d6028f922ca4c5851a277fd41311c9e62d2c9492e1c4f3"
+  in
+  Alcotest.(check bool) "RFC 8448 early secret" true
+    (Tls.Key_schedule.early_secret ~psk ()
+    = hex "9b2188e9b2fc6d64d71dc329900e20bb41915000f678aa839cbb797cb7d8332c")
+
+let test_no_psk_regression () =
+  (* ?psk:None must stay byte-identical to the historical zero-ikm path;
+     an explicit all-zero PSK is the same ikm, a real PSK is not *)
+  let ss = Crypto.Sha256.digest "shared" and th = Crypto.Sha256.digest "th" in
+  let legacy =
+    Tls.Key_schedule.handshake_secrets ~shared_secret:ss
+      ~hello_transcript_hash:th ()
+  in
+  let zeros =
+    Tls.Key_schedule.handshake_secrets ~psk:(String.make 32 '\000')
+      ~shared_secret:ss ~hello_transcript_hash:th ()
+  in
+  Alcotest.(check bool) "zero PSK == no PSK" true (legacy = zeros);
+  let with_psk =
+    Tls.Key_schedule.handshake_secrets ~psk:(Crypto.Sha256.digest "psk")
+      ~shared_secret:ss ~hello_transcript_hash:th ()
+  in
+  Alcotest.(check bool) "real PSK changes secrets" true (with_psk <> legacy)
+
+(* extension types of an encoded ClientHello, in wire order *)
+let extension_types msg =
+  let r = Tls.Wire.Reader.of_string (Tls.Messages.body msg) in
+  ignore (Tls.Wire.Reader.u16 r) (* legacy_version *);
+  ignore (Tls.Wire.Reader.bytes r 32) (* random *);
+  ignore (Tls.Wire.Reader.vec8 r) (* session_id *);
+  ignore (Tls.Wire.Reader.vec16 r) (* cipher_suites *);
+  ignore (Tls.Wire.Reader.vec8 r) (* compression *);
+  let er = Tls.Wire.Reader.of_string (Tls.Wire.Reader.vec16 r) in
+  let rec loop acc =
+    if Tls.Wire.Reader.remaining er = 0 then List.rev acc
+    else begin
+      let ty = Tls.Wire.Reader.u16 er in
+      ignore (Tls.Wire.Reader.vec16 er);
+      loop (ty :: acc)
+    end
+  in
+  loop []
+
+let make_offer rng ?(binder = String.make 32 '\000') () =
+  { Tls.Messages.random = Crypto.Drbg.generate rng 32;
+    session_id = Crypto.Drbg.generate rng 32;
+    group = "kyber768";
+    key_share = Crypto.Drbg.generate rng 1184;
+    sig_algs = [ "rsa:2048" ];
+    psk =
+      Some
+        { Tls.Messages.psk_identity = Crypto.Drbg.generate rng 150;
+          psk_obfuscated_age = 0x11223344;
+          psk_binder = binder };
+    early_data = true }
+
+let test_psk_client_hello () =
+  let rng = Crypto.Drbg.create ~seed:"tls-psk-ch" in
+  let ch = make_offer rng () in
+  let enc = Tls.Messages.encode_client_hello ch in
+  (* pre_shared_key (41) last, legacy session_ticket stub (35) dropped,
+     early_data (42) present *)
+  let tys = extension_types enc in
+  Alcotest.(check bool) "psk last" true (List.nth tys (List.length tys - 1) = 41);
+  Alcotest.(check bool) "session_ticket stub dropped" false (List.mem 35 tys);
+  Alcotest.(check bool) "early_data offered" true (List.mem 42 tys);
+  (* the full handshake keeps the stub and never offers a PSK *)
+  let full_tys =
+    extension_types
+      (Tls.Messages.encode_client_hello
+         { ch with Tls.Messages.psk = None; early_data = false })
+  in
+  Alcotest.(check bool) "stub on full handshake" true (List.mem 35 full_tys);
+  Alcotest.(check bool) "no psk on full handshake" false (List.mem 41 full_tys);
+  (* codec roundtrip preserves the offer *)
+  let dec = Tls.Messages.decode_client_hello enc in
+  Alcotest.(check bool) "offer roundtrip" true (dec.Tls.Messages.psk = ch.Tls.Messages.psk);
+  Alcotest.(check bool) "early_data roundtrip" true dec.Tls.Messages.early_data;
+  (* truncation removes exactly the binders list from the end *)
+  Alcotest.(check int) "truncation length" (String.length enc - Tls.Messages.binders_length)
+    (String.length (Tls.Messages.truncated_client_hello ch))
+
+let test_binder_mac () =
+  let rng = Crypto.Drbg.create ~seed:"tls-binder" in
+  let psk = Crypto.Drbg.generate rng 32 in
+  let binder_of psk ch =
+    let early = Tls.Key_schedule.early_secret ~psk () in
+    Tls.Key_schedule.binder_mac
+      ~binder_key:(Tls.Key_schedule.binder_key ~early_secret:early)
+      ~truncated_transcript_hash:
+        (Crypto.Sha256.digest (Tls.Messages.truncated_client_hello ch))
+  in
+  (* the truncated transcript is independent of the binder value, so the
+     dummy-binder encoding computes the same MAC the final CH carries *)
+  let dummy = make_offer rng () in
+  let mac = binder_of psk dummy in
+  let final = { dummy with Tls.Messages.psk =
+                  Option.map (fun o -> { o with Tls.Messages.psk_binder = mac })
+                    dummy.Tls.Messages.psk }
+  in
+  Alcotest.(check bool) "binder independent of binder bytes" true
+    (Tls.Messages.truncated_client_hello final
+    = Tls.Messages.truncated_client_hello dummy);
+  (* negatives: a different PSK, or a different truncated transcript,
+     must move the MAC *)
+  Alcotest.(check bool) "wrong PSK detected" true
+    (binder_of (Crypto.Drbg.generate rng 32) dummy <> mac);
+  let other_ch = make_offer (Crypto.Drbg.create ~seed:"tls-binder-3") () in
+  Alcotest.(check bool) "transcript-sensitive" true (binder_of psk other_ch <> mac)
+
+let test_ticket_roundtrip () =
+  let rng = Crypto.Drbg.create ~seed:"tls-nst" in
+  let nst =
+    { Tls.Messages.nst_lifetime = 7200;
+      nst_age_add = 0xdeadbeef;
+      nst_nonce = "\x00";
+      nst_ticket = Crypto.Drbg.generate rng 150;
+      nst_max_early_data = 16384 }
+  in
+  let enc = Tls.Messages.encode_new_session_ticket nst in
+  Alcotest.(check bool) "nst roundtrip" true
+    (Tls.Messages.decode_new_session_ticket enc = nst);
+  (* no 0-RTT permission: the early_data ticket extension disappears *)
+  let no_early = { nst with Tls.Messages.nst_max_early_data = 0 } in
+  let enc0 = Tls.Messages.encode_new_session_ticket no_early in
+  Alcotest.(check bool) "nst without early_data" true
+    (Tls.Messages.decode_new_session_ticket enc0 = no_early);
+  Alcotest.(check bool) "early_data ext costs bytes" true
+    (String.length enc > String.length enc0);
+  (* and the message survives TCP refragmentation through the codec *)
+  let inb = Tls.Codec.Inbound.create () in
+  let stream = Tls.Codec.fragment_plaintext enc in
+  String.iter (fun c -> Tls.Codec.Inbound.feed inb (String.make 1 c)) stream;
+  (match Tls.Codec.Inbound.next inb with
+  | Tls.Codec.Inbound.Handshake_message m ->
+    Alcotest.(check bool) "codec roundtrip" true
+      (Tls.Messages.decode_new_session_ticket m = nst)
+  | _ -> Alcotest.fail "codec did not yield the ticket")
 
 (* ---- full handshakes --------------------------------------------------------------- *)
 
@@ -163,7 +318,8 @@ let run_handshake ?(buffering = Tls.Config.Optimized_push) ~real kem_name sig_na
   in
   let result = ref None in
   Tls.Handshake.run ~engine ~link ~tcp_config:Netsim.Tcp.default_config
-    ~client_host ~server_host ~config ~rng ~on_done:(fun r -> result := Some r);
+    ~client_host ~server_host ~config ~rng ~on_done:(fun r -> result := Some r)
+    ();
   Netsim.Engine.run engine;
   match !result with
   | None -> Alcotest.fail (Printf.sprintf "%s x %s did not complete" kem_name sig_name)
@@ -173,6 +329,98 @@ let run_handshake ?(buffering = Tls.Config.Optimized_push) ~real kem_name sig_na
       part_b = t "FIN_C" -. t "SH";
       client_bytes = Netsim.Tcp.bytes_sent r.Tls.Handshake.client_tcp;
       server_bytes = Netsim.Tcp.bytes_sent r.Tls.Handshake.server_tcp }
+
+(* one full handshake that issues a ticket, then one resumed handshake
+   on the same simulated network; returns (full, resumed) results *)
+let run_resumption ?(early_data = false) ?tamper ~real kem_name sig_name =
+  let engine = Netsim.Engine.create () in
+  let rng = Crypto.Drbg.create ~seed:"tls-resume" in
+  let link =
+    Netsim.Link.create engine (Crypto.Drbg.fork rng "link") Netsim.Link.ideal
+      ~tap:(fun _ _ -> ())
+  in
+  let client_host = Netsim.Host.create engine ~name:"client" in
+  let server_host = Netsim.Host.create engine ~name:"server" in
+  let config =
+    (if real then Tls.Config.make else Tls.Config.mocked) (kem kem_name)
+      (sa sig_name)
+  in
+  let session = ref None and full = ref None and resumed = ref None in
+  Tls.Handshake.run ~engine ~link ~tcp_config:Netsim.Tcp.default_config
+    ~client_host ~server_host ~config ~rng ~issue_ticket:true
+    ~on_ticket:(fun s -> session := Some s)
+    ~on_done:(fun r -> full := Some r)
+    ();
+  Netsim.Engine.run engine;
+  let s =
+    match !session with
+    | Some s -> (match tamper with Some f -> f s | None -> s)
+    | None -> Alcotest.fail "no ticket issued"
+  in
+  Tls.Handshake.run ~engine ~link ~tcp_config:Netsim.Tcp.default_config
+    ~client_host ~server_host ~config
+    ~rng:(Crypto.Drbg.fork rng "second") ~resume:s ~early_data
+    ~on_done:(fun r -> resumed := Some r)
+    ();
+  Netsim.Engine.run engine;
+  (Option.get !full, Option.get !resumed)
+
+let test_resumption_omits_certificate () =
+  (* the resumed server flight has no Certificate/CertificateVerify: with
+     SPHINCS+ that is tens of kB of wire that must disappear *)
+  let full, res = run_resumption ~real:false "kyber512" "sphincs128" in
+  Alcotest.(check bool) "full not resumed" false full.Tls.Handshake.resumed;
+  Alcotest.(check bool) "resumed" true res.Tls.Handshake.resumed;
+  let fb = Netsim.Tcp.bytes_sent full.Tls.Handshake.server_tcp in
+  let rb = Netsim.Tcp.bytes_sent res.Tls.Handshake.server_tcp in
+  (* sphincs128's chain+sig flight is ~37 kB; the resumed flight is a
+     couple of records. Require an order-of-magnitude collapse. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "server flight collapses (%d -> %d B)" fb rb)
+    true
+    (fb > 30_000 && rb * 10 < fb)
+
+let test_resumption_mocked_equals_real () =
+  let wire (full, res) =
+    ( Netsim.Tcp.bytes_sent full.Tls.Handshake.server_tcp,
+      Netsim.Tcp.bytes_sent res.Tls.Handshake.server_tcp,
+      Netsim.Tcp.bytes_sent res.Tls.Handshake.client_tcp,
+      res.Tls.Handshake.client_finished_at )
+  in
+  let a = wire (run_resumption ~real:true "kyber768" "dilithium3") in
+  let b = wire (run_resumption ~real:false "kyber768" "dilithium3") in
+  Alcotest.(check bool) "mocked == real on the resumed path" true (a = b)
+
+let test_zero_rtt () =
+  let _, res = run_resumption ~real:false ~early_data:true "kyber768" "dilithium3" in
+  Alcotest.(check int) "0-RTT bytes accepted" Tls.Handshake.early_data_size
+    res.Tls.Handshake.early_data_bytes;
+  (* without early data the server accepts none *)
+  let _, plain = run_resumption ~real:false "kyber768" "dilithium3" in
+  Alcotest.(check int) "no 0-RTT by default" 0 plain.Tls.Handshake.early_data_bytes
+
+let test_binder_mismatch_fails_closed () =
+  (* a client whose PSK disagrees with the (intact) ticket computes a
+     wrong binder; the server must refuse before any flight is sent *)
+  let flip s = String.mapi (fun i c -> if i = 0 then Char.chr (Char.code c lxor 1) else c) s in
+  Alcotest.check_raises "binder mismatch"
+    (Tls.Wire.Decode_error "PSK binder mismatch") (fun () ->
+      ignore
+        (run_resumption ~real:false
+           ~tamper:(fun s -> { s with Tls.Handshake.psk = flip s.Tls.Handshake.psk })
+           "kyber768" "dilithium3"));
+  (* a corrupted ticket fails the STEK open instead; flip a ciphertext
+     byte (past the 5-byte record header, which open_ticket discards) *)
+  let flip_ct s =
+    String.mapi (fun i c -> if i = 8 then Char.chr (Char.code c lxor 1) else c) s
+  in
+  Alcotest.check_raises "ticket corruption"
+    (Tls.Wire.Decode_error "ticket decryption failed") (fun () ->
+      ignore
+        (run_resumption ~real:true
+           ~tamper:(fun s ->
+             { s with Tls.Handshake.ticket = flip_ct s.Tls.Handshake.ticket })
+           "kyber768" "dilithium3"))
 
 let test_handshake_completes_everywhere () =
   (* every KA and every SA completes a handshake (mocked for speed) *)
@@ -249,7 +497,9 @@ let test_codec_inbound () =
       | Tls.Codec.Inbound.Handshake_message m ->
         got := m :: !got;
         drain ()
-      | Tls.Codec.Inbound.Change_cipher_spec -> drain ()
+      | Tls.Codec.Inbound.Change_cipher_spec
+      | Tls.Codec.Inbound.Application_data _ ->
+        drain ()
       | Tls.Codec.Inbound.Need_more_data -> ()
     in
     drain ()
@@ -267,7 +517,19 @@ let suites =
         Alcotest.test_case "record protection" `Quick test_record_protection;
         Alcotest.test_case "null records" `Quick test_null_records;
         Alcotest.test_case "key schedule" `Quick test_key_schedule;
+        Alcotest.test_case "key schedule vectors" `Quick test_key_schedule_vectors;
+        Alcotest.test_case "no-PSK regression" `Quick test_no_psk_regression;
+        Alcotest.test_case "PSK client hello" `Quick test_psk_client_hello;
+        Alcotest.test_case "binder MAC" `Quick test_binder_mac;
+        Alcotest.test_case "session ticket codec" `Quick test_ticket_roundtrip;
         Alcotest.test_case "codec reassembly" `Quick test_codec_inbound;
+        Alcotest.test_case "resumption omits certificate" `Quick
+          test_resumption_omits_certificate;
+        Alcotest.test_case "resumption mocked == real" `Slow
+          test_resumption_mocked_equals_real;
+        Alcotest.test_case "0-RTT early data" `Quick test_zero_rtt;
+        Alcotest.test_case "binder mismatch fails closed" `Quick
+          test_binder_mismatch_fails_closed;
         Alcotest.test_case "handshakes complete for all algorithms" `Slow
           test_handshake_completes_everywhere;
         Alcotest.test_case "real-crypto handshakes" `Slow test_real_handshakes;
