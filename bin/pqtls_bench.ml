@@ -59,7 +59,7 @@ let list_cmd =
     let whats =
       [ ("experiments", `Experiments); ("kas", `Kas); ("sas", `Sas);
         ("scenarios", `Scenarios); ("workloads", `Workloads);
-        ("mixes", `Mixes) ]
+        ("mixes", `Mixes); ("chains", `Chains) ]
     in
     Arg.(
       value
@@ -67,7 +67,8 @@ let list_cmd =
       & info [] ~docv:"WHAT"
           ~doc:
             "What to list: $(b,experiments) (default), $(b,kas), \
-             $(b,sas), $(b,scenarios), $(b,workloads), or $(b,mixes).")
+             $(b,sas), $(b,scenarios), $(b,workloads), $(b,mixes), or \
+             $(b,chains).")
   in
   let json_arg =
     Arg.(
@@ -182,14 +183,37 @@ let list_cmd =
                     ("early_data", Bool m.early_data);
                     ("description", String m.description) ])
               Core.Mix.all))
+    | `Chains, false ->
+      List.iter
+        (fun (p : Tls.Chain_profile.t) ->
+          Printf.printf "%-16s %-14s depth %d  %s\n" p.name p.label
+            (Tls.Chain_profile.depth p) p.description)
+        Tls.Chain_profile.all
+    | `Chains, true ->
+      let level = function
+        | Tls.Chain_profile.Leaf_alg -> String "leaf-alg"
+        | Tls.Chain_profile.Named n -> String n
+      in
+      emit
+        (List
+           (List.map
+              (fun (p : Tls.Chain_profile.t) ->
+                Obj
+                  [ ("name", String p.name);
+                    ("label", String p.label);
+                    ("depth", Int (Tls.Chain_profile.depth p));
+                    ("intermediates", List (List.map level p.intermediates));
+                    ("root", level p.root);
+                    ("description", String p.description) ])
+              Tls.Chain_profile.all))
   in
   Cmd.v
     (Cmd.info "list"
        ~doc:
          "List the available experiments (Appendix B.6 schema), key \
           agreements, signature algorithms, network scenarios, farm \
-          arrival workloads, or resumption workload mixes; $(b,--json) \
-          emits a machine-readable listing.")
+          arrival workloads, resumption workload mixes, or certificate \
+          chain profiles; $(b,--json) emits a machine-readable listing.")
     Term.(const run $ what_arg $ json_arg)
 
 (* ---- run ----------------------------------------------------------------- *)

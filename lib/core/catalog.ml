@@ -140,6 +140,11 @@ let entries :
      fun ?seed ?exec () -> Report.table6 ?seed ?exec ());
     ("mixes-smoke", "Table 6 campaign at CI smoke size",
      fun ?seed ?exec () -> Report.table6_smoke ?seed ?exec ());
+    ("chains", "Table 7 campaign: signature placement across certificate \
+                hierarchies (chain profiles, flights-to-deliver)",
+     fun ?seed ?exec () -> Report.table7 ?seed ?exec ());
+    ("chains-smoke", "Table 7 campaign at CI smoke size",
+     fun ?seed ?exec () -> Report.table7_smoke ?seed ?exec ());
     ("ablation-buffer", "BIO buffer-limit sweep",
      fun ?seed ?exec () -> Report.ablation_buffer ?seed ?exec ());
     ("ablation-cwnd", "initial congestion-window sweep",
@@ -155,7 +160,8 @@ let aliases =
     ("table4a", "all-kem-scenarios");
     ("table4b", "all-sig-scenarios");
     ("table5", "farm");
-    ("table6", "mixes") ]
+    ("table6", "mixes");
+    ("table7", "chains") ]
 
 let names = List.map (fun (n, _, _) -> n) entries
 

@@ -20,6 +20,8 @@ type outcome = {
   sig_name : string;
   scenario_name : string;
   mix_name : string;
+  chain_name : string;
+  chain_levels : (string * string * int * float) list;
   buffering : Tls.Config.buffering;
   samples : sample list;
   handshakes_per_minute : int;
@@ -57,6 +59,7 @@ type spec = {
   sp_buffer_limit : int;
   sp_wrong_key_share : bool;
   sp_mix : Mix.t;
+  sp_chain : Tls.Chain_profile.t;
   sp_kem : Pqc.Kem.t;
   sp_sig : Pqc.Sigalg.t;
 }
@@ -65,7 +68,8 @@ let spec ?(buffering = Tls.Config.Optimized_push)
     ?(scenario = Scenario.no_emulation) ?(duration_s = 60.) ?max_samples
     ?(seed = "pqtls") ?(real_crypto = false)
     ?(tcp_config = Netsim.Tcp.default_config) ?(buffer_limit = 4096)
-    ?(wrong_key_share = false) ?(mix = Mix.full) kem sig_alg =
+    ?(wrong_key_share = false) ?(mix = Mix.full)
+    ?(chain = Tls.Chain_profile.default) kem sig_alg =
   { sp_buffering = buffering;
     sp_scenario = scenario;
     sp_duration_s = duration_s;
@@ -76,6 +80,7 @@ let spec ?(buffering = Tls.Config.Optimized_push)
     sp_buffer_limit = buffer_limit;
     sp_wrong_key_share = wrong_key_share;
     sp_mix = mix;
+    sp_chain = chain;
     sp_kem = kem;
     sp_sig = sig_alg }
 
@@ -87,12 +92,16 @@ let spec_label sp =
     | Tls.Config.Default_buffered -> " (default-buffered)")
     (if Mix.is_full sp.sp_mix then ""
      else Printf.sprintf " [%s]" sp.sp_mix.Mix.label)
+  ^
+  if Tls.Chain_profile.is_default sp.sp_chain then ""
+  else Printf.sprintf " {%s}" sp.sp_chain.Tls.Chain_profile.label
 
 (* A stable, complete rendering of every input that can change the
    outcome — the pre-image of the result-cache key. Algorithms appear by
    name only: their behaviour is code, which the cache covers separately
-   with the executable fingerprint. The mix suffix only appears for
-   non-full mixes so every pre-existing cell keeps its cache key. *)
+   with the executable fingerprint. The mix and chain suffixes only
+   appear for non-default values so every pre-existing cell keeps its
+   cache key. *)
 let spec_fingerprint sp =
   let netem = sp.sp_scenario.Scenario.netem in
   let tcp = sp.sp_tcp_config in
@@ -111,8 +120,11 @@ let spec_fingerprint sp =
     sp.sp_seed sp.sp_real_crypto tcp.Netsim.Tcp.mss
     tcp.Netsim.Tcp.init_cwnd_segments tcp.Netsim.Tcp.kernel_cost_ms_per_packet
     sp.sp_buffer_limit sp.sp_wrong_key_share
-    (if Mix.is_full sp.sp_mix then ""
-     else Printf.sprintf "|mix=%s" sp.sp_mix.Mix.name)
+    ((if Mix.is_full sp.sp_mix then ""
+      else Printf.sprintf "|mix=%s" sp.sp_mix.Mix.name)
+    ^
+    if Tls.Chain_profile.is_default sp.sp_chain then ""
+    else Printf.sprintf "|chain=%s" sp.sp_chain.Tls.Chain_profile.name)
 
 let run_spec_traced sp =
   let { sp_buffering = buffering;
@@ -125,6 +137,7 @@ let run_spec_traced sp =
         sp_buffer_limit = buffer_limit;
         sp_wrong_key_share = wrong_key_share;
         sp_mix = mix;
+        sp_chain = chain;
         sp_kem = kem;
         sp_sig = sig_alg } =
     sp
@@ -153,7 +166,23 @@ let run_spec_traced sp =
   let server_host = Netsim.Host.create engine ~name:"server" in
   let config =
     (if real_crypto then Tls.Config.make else Tls.Config.mocked) ~buffering
-      ~buffer_limit ~wrong_first_key_share:wrong_key_share kem sig_alg
+      ~buffer_limit ~wrong_first_key_share:wrong_key_share
+      ~chain_profile:chain kem sig_alg
+  in
+  (* the per-level placement breakdown of the credentials this cell's
+     handshakes will serve (generation is cached, never measured) *)
+  let chain_levels =
+    let creds =
+      Tls.Credentials.get ~profile:config.Tls.Config.chain_profile
+        config.Tls.Config.sig_alg
+    in
+    List.map
+      (fun l ->
+        ( l.Tls.Chain.lv_name,
+          l.Tls.Chain.lv_issuer_sa,
+          l.Tls.Chain.lv_bytes,
+          l.Tls.Chain.lv_verify_ms ))
+      (Tls.Chain.levels creds.Tls.Credentials.chain)
   in
   let samples = ref [] in
   let count = ref 0 in
@@ -276,6 +305,8 @@ let run_spec_traced sp =
     sig_name = sig_alg.Pqc.Sigalg.name;
     scenario_name = scenario.Scenario.name;
     mix_name = mix.Mix.name;
+    chain_name = chain.Tls.Chain_profile.name;
+    chain_levels;
     buffering;
     samples;
     handshakes_per_minute = per_minute;
@@ -296,10 +327,10 @@ let run_spec ?trace sp =
   | Some buf -> Trace.Sink.run_with buf (fun () -> run_spec_traced sp)
 
 let run ?buffering ?scenario ?duration_s ?max_samples ?seed ?real_crypto
-    ?tcp_config ?buffer_limit ?wrong_key_share ?mix kem sig_alg =
+    ?tcp_config ?buffer_limit ?wrong_key_share ?mix ?chain kem sig_alg =
   run_spec
     (spec ?buffering ?scenario ?duration_s ?max_samples ?seed ?real_crypto
-       ?tcp_config ?buffer_limit ?wrong_key_share ?mix kem sig_alg)
+       ?tcp_config ?buffer_limit ?wrong_key_share ?mix ?chain kem sig_alg)
 
 let median_of f outcome = Stats.median (List.map f outcome.samples)
 

@@ -30,6 +30,11 @@ type outcome = {
   sig_name : string;
   scenario_name : string;
   mix_name : string;  (** {!Mix} this cell ran under ("full" historically) *)
+  chain_name : string;
+      (** {!Tls.Chain_profile} served ("default" = leaf-only) *)
+  chain_levels : (string * string * int * float) list;
+      (** per-level placement breakdown of the served chain, leaf first:
+          (level name, issuing SA, CertificateEntry bytes, verify ms) *)
   buffering : Tls.Config.buffering;
   samples : sample list;
   handshakes_per_minute : int;
@@ -61,6 +66,10 @@ type spec = {
       (** workload mix: the first connection is always full, later ones
           resume (optionally with 0-RTT) per the mix's resumed fraction;
           {!Mix.full} reproduces pre-mix cells bit for bit *)
+  sp_chain : Tls.Chain_profile.t;
+      (** certificate-hierarchy shape the server deploys;
+          {!Tls.Chain_profile.default} reproduces pre-chain cells bit
+          for bit *)
   sp_kem : Pqc.Kem.t;
   sp_sig : Pqc.Sigalg.t;
 }
@@ -79,6 +88,7 @@ val spec :
   ?buffer_limit:int ->
   ?wrong_key_share:bool ->
   ?mix:Mix.t ->
+  ?chain:Tls.Chain_profile.t ->
   Pqc.Kem.t ->
   Pqc.Sigalg.t ->
   spec
@@ -115,6 +125,7 @@ val run :
   ?buffer_limit:int ->
   ?wrong_key_share:bool ->
   ?mix:Mix.t ->
+  ?chain:Tls.Chain_profile.t ->
   Pqc.Kem.t ->
   Pqc.Sigalg.t ->
   outcome

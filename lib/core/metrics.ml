@@ -87,6 +87,9 @@ type cell_data = {
   cd_client_ledger : (string * float) list;
   cd_server_ledger : (string * float) list;
   cd_resumption : resumption option;  (* Some iff the mix is not full *)
+  cd_chain_levels : (string * string * int * float) list;
+      (* per-level placement breakdown; serialized iff the chain profile
+         is not the default *)
 }
 
 type cell = {
@@ -96,6 +99,7 @@ type cell = {
   m_sig : string;
   m_scenario : string;
   m_mix : string;
+  m_chain : string;
   m_buffering : string;
   m_standard : bool;
   m_data : (cell_data, string) result;
@@ -154,7 +158,8 @@ let data_of_outcome ~id (o : Experiment.outcome) =
     cd_server_cpu_charges = o.Experiment.server_cpu_charges;
     cd_client_ledger = o.Experiment.client_ledger;
     cd_server_ledger = o.Experiment.server_ledger;
-    cd_resumption = resumption }
+    cd_resumption = resumption;
+    cd_chain_levels = o.Experiment.chain_levels }
 
 let buffering_name = function
   | Tls.Config.Optimized_push -> "push"
@@ -339,6 +344,7 @@ let record_cell t (sp : Experiment.spec) result =
             m_sig = sp.Experiment.sp_sig.Pqc.Sigalg.name;
             m_scenario = sp.Experiment.sp_scenario.Scenario.name;
             m_mix = sp.Experiment.sp_mix.Mix.name;
+            m_chain = sp.Experiment.sp_chain.Tls.Chain_profile.name;
             m_buffering = buffering_name sp.Experiment.sp_buffering;
             m_standard = is_standard sp;
             m_data = Result.map (fun o -> data_of_outcome ~id o) result }
@@ -435,6 +441,26 @@ let json_of_resumption r =
       ("resumed_server_bytes", opt_dist r.rs_resumed_server_bytes);
       ("full_server_bytes", opt_dist r.rs_full_server_bytes) ]
 
+(* like the resumption block: the chain identity key and per-level
+   breakdown only exist for non-default chain profiles, so every
+   pre-chain artifact stays byte-identical under schema /1 *)
+let json_of_chain_levels levels =
+  let wire = List.fold_left (fun acc (_, _, b, _) -> acc + b) 0 levels in
+  let cpu = List.fold_left (fun acc (_, _, _, ms) -> acc +. ms) 0. levels in
+  Json.Obj
+    [ ("wire_bytes", Json.Int wire);
+      ("verify_ms", Json.Float cpu);
+      ( "levels",
+        Json.List
+          (List.map
+             (fun (name, issuer, bytes, verify_ms) ->
+               Json.Obj
+                 [ ("level", Json.String name);
+                   ("issuer_sa", Json.String issuer);
+                   ("bytes", Json.Int bytes);
+                   ("verify_ms", Json.Float verify_ms) ])
+             levels) ) ]
+
 let json_of_cell c =
   let base =
     [ ("id", Json.String c.m_id);
@@ -444,6 +470,8 @@ let json_of_cell c =
       ("scenario", Json.String c.m_scenario) ]
     @ (if c.m_mix = "full" then []
        else [ ("mix", Json.String c.m_mix) ])
+    @ (if c.m_chain = "default" then []
+       else [ ("chain", Json.String c.m_chain) ])
     @ [ ("buffering", Json.String c.m_buffering);
         ("standard", Json.Bool c.m_standard) ]
   in
@@ -481,10 +509,12 @@ let json_of_cell c =
                       ("client_ledger", json_of_ledger d.cd_client_ledger);
                       ("server_ledger", json_of_ledger d.cd_server_ledger) ]
                 ) ]
+              @ (match d.cd_resumption with
+                | None -> []
+                | Some r -> [ ("resumption", json_of_resumption r) ])
               @
-              match d.cd_resumption with
-              | None -> []
-              | Some r -> [ ("resumption", json_of_resumption r) ]) ) ])
+              if c.m_chain = "default" then []
+              else [ ("chain", json_of_chain_levels d.cd_chain_levels) ]) ) ])
 
 let json_of_farm_cell c =
   let base =

@@ -70,6 +70,12 @@ type cell_data = {
       (** [Some] iff the cell ran a non-full {!Mix}; the serialized
           artifact gains its "resumption" key (and the cell its "mix"
           key) only then, so pre-mix artifacts stay byte-identical *)
+  cd_chain_levels : (string * string * int * float) list;
+      (** per-level certificate-chain breakdown, leaf first: (level,
+          issuing SA, CertificateEntry bytes, verify ms). Serialized —
+          as the "chain" data block plus the cell's "chain" identity
+          key — only for non-default {!Tls.Chain_profile}s, so
+          pre-chain artifacts stay byte-identical *)
 }
 
 type cell = {
@@ -81,6 +87,8 @@ type cell = {
   m_sig : string;
   m_scenario : string;
   m_mix : string;  (** {!Mix} name; ["full"] for pre-mix cells *)
+  m_chain : string;
+      (** {!Tls.Chain_profile} name; ["default"] for pre-chain cells *)
   m_buffering : string;  (** ["push"] or ["buffered"] *)
   m_standard : bool;
       (** everything except kem/sig/scenario/buffering/seed at the

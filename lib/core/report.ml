@@ -611,6 +611,11 @@ let table6_smoke ?(seed = "table6") ?(exec = Exec.sequential) () =
     ~mixes:[ Mix.full; Mix.find "resumed90"; Mix.find "resumed90-0rtt" ]
     ~max_samples:12
 
+(* ---- Table 7 (signature placement) ---------------------------------------- *)
+
+let table7 = Placement.table7
+let table7_smoke = Placement.table7_smoke
+
 (* ---- ablations ------------------------------------------------------------ *)
 
 let ablation_buffer ?(seed = "ablation") ?(exec = Exec.sequential) () =

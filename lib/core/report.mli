@@ -50,6 +50,14 @@ val table6 : ?seed:string -> ?exec:Exec.t -> unit -> string
 val table6_smoke : ?seed:string -> ?exec:Exec.t -> unit -> string
 (** The CI gate's Table 6: 2 pairs x 3 mixes x 12 samples. *)
 
+val table7 : ?seed:string -> ?exec:Exec.t -> unit -> string
+(** The signature-placement study ({!Placement.table7}): per-chain-profile
+    full-chain wire size, verification CPU, handshake medians and the
+    flights-to-deliver column, plus a per-level breakdown. *)
+
+val table7_smoke : ?seed:string -> ?exec:Exec.t -> unit -> string
+(** The CI gate's Table 7: 2 pairs x 3 chain shapes x 10 samples. *)
+
 val ablation_buffer : ?seed:string -> ?exec:Exec.t -> unit -> string
 (** Extra (section 4 / 5.2 design lever): handshake latency as a
     function of the OpenSSL buffer limit, under both flight behaviours. *)

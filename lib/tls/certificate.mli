@@ -27,3 +27,6 @@ val verify : chain -> Pqc.Sigalg.t -> bool
 
 val tbs : t -> string
 (** The signed portion, for verification. *)
+
+val der_overhead : int
+(** Byte count of the serial/validity/extensions stand-in pad. *)

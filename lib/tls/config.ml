@@ -7,14 +7,18 @@ type t = {
   buffer_limit : int;
   null_records : bool;
   wrong_first_key_share : bool;
+  chain_profile : Chain_profile.t;
 }
 
 let make ?(buffering = Optimized_push) ?(buffer_limit = 4096)
-    ?(wrong_first_key_share = false) kem sig_alg =
+    ?(wrong_first_key_share = false) ?(chain_profile = Chain_profile.default)
+    kem sig_alg =
   { kem; sig_alg; buffering; buffer_limit;
     null_records = kem.Pqc.Kem.mocked || sig_alg.Pqc.Sigalg.mocked;
-    wrong_first_key_share }
+    wrong_first_key_share; chain_profile }
 
-let mocked ?buffering ?buffer_limit ?wrong_first_key_share kem sig_alg =
-  make ?buffering ?buffer_limit ?wrong_first_key_share (Pqc.Kem.mocked kem)
+let mocked ?buffering ?buffer_limit ?wrong_first_key_share ?chain_profile kem
+    sig_alg =
+  make ?buffering ?buffer_limit ?wrong_first_key_share ?chain_profile
+    (Pqc.Kem.mocked kem)
     (Pqc.Sigalg.mocked sig_alg)

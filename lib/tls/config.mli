@@ -23,22 +23,28 @@ type t = {
           forcing the HelloRetryRequest 2-RTT fallback the paper
           deliberately configured away (section 2) — exposed here so its
           cost can be measured *)
+  chain_profile : Chain_profile.t;
+      (** certificate-hierarchy shape for the signature-placement study;
+          {!Chain_profile.default} is the paper's leaf-only setup *)
 }
 
 val make :
   ?buffering:buffering ->
   ?buffer_limit:int ->
   ?wrong_first_key_share:bool ->
+  ?chain_profile:Chain_profile.t ->
   Pqc.Kem.t ->
   Pqc.Sigalg.t ->
   t
-(** Defaults: [Optimized_push], 4096, correct key-share guess (the
-    paper's setting for Section 5 unless stated otherwise). *)
+(** Defaults: [Optimized_push], 4096, correct key-share guess,
+    {!Chain_profile.default} (the paper's setting for Section 5 unless
+    stated otherwise). *)
 
 val mocked :
   ?buffering:buffering ->
   ?buffer_limit:int ->
   ?wrong_first_key_share:bool ->
+  ?chain_profile:Chain_profile.t ->
   Pqc.Kem.t ->
   Pqc.Sigalg.t ->
   t

@@ -1,7 +1,8 @@
 type t = {
-  chain : Certificate.chain;
+  chain : Chain.t;
   server_key : Pqc.Sigalg.keypair;
   alg : Pqc.Sigalg.t;
+  profile : Chain_profile.t;
 }
 
 let cache : (string, t) Hashtbl.t =
@@ -10,19 +11,26 @@ let cache : (string, t) Hashtbl.t =
 
 (* the cache is shared across domains when campaigns run in parallel;
    generation is deterministic, so holding the lock while generating
-   only serializes the first request per algorithm *)
+   only serializes the first request per algorithm x profile *)
 let cache_lock = Mutex.create ()
 
-let get alg =
-  let name =
-    alg.Pqc.Sigalg.name ^ if alg.Pqc.Sigalg.mocked then "#mocked" else ""
-  in
+let cache_key ~profile alg =
+  (* the default profile keeps the pre-chain key (and thus the pre-chain
+     DRBG seed) so existing fingerprints and artifacts stay identical *)
+  alg.Pqc.Sigalg.name
+  ^ (if alg.Pqc.Sigalg.mocked then "#mocked" else "")
+  ^
+  if Chain_profile.is_default profile then ""
+  else "@" ^ profile.Chain_profile.name
+
+let get ?(profile = Chain_profile.default) alg =
+  let key = cache_key ~profile alg in
   Mutex.protect cache_lock (fun () ->
-      match Hashtbl.find_opt cache name with
+      match Hashtbl.find_opt cache key with
       | Some c -> c
       | None ->
-        let rng = Crypto.Drbg.create ~seed:("credentials/" ^ name) in
-        let chain, server_key = Certificate.make_chain alg rng in
-        let c = { chain; server_key; alg } in
-        Hashtbl.add cache name c;
+        let rng = Crypto.Drbg.create ~seed:("credentials/" ^ key) in
+        let chain, server_key = Chain.make profile ~leaf:alg rng in
+        let c = { chain; server_key; alg; profile } in
+        Hashtbl.add cache key c;
         c)

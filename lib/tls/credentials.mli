@@ -1,13 +1,18 @@
 (** Server credentials (certificate chain + private key), generated once
-    per signature algorithm and cached: the paper pre-provisions one
-    certificate per SA, so certificate generation is never part of a
-    measured handshake. *)
+    per signature algorithm x chain profile and cached: the paper
+    pre-provisions one certificate per SA, so certificate generation is
+    never part of a measured handshake. *)
 
 type t = {
-  chain : Certificate.chain;
+  chain : Chain.t;
   server_key : Pqc.Sigalg.keypair;
-  alg : Pqc.Sigalg.t;
+  alg : Pqc.Sigalg.t;  (** the leaf (campaign) signature algorithm *)
+  profile : Chain_profile.t;
 }
 
-val get : Pqc.Sigalg.t -> t
-(** Cached by algorithm name; deterministic (seeded by the name). *)
+val get : ?profile:Chain_profile.t -> Pqc.Sigalg.t -> t
+(** Cached by algorithm name and chain profile, so mixed-profile
+    campaigns never collide on a cached chain; deterministic (the DRBG
+    seed is derived from the cache key). [?profile] defaults to
+    {!Chain_profile.default}, whose key and seed are byte-identical to
+    the pre-chain scheme. *)

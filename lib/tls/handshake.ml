@@ -370,7 +370,10 @@ let server_on_client_hello ctx (p : peer) msg =
   let ee = M.encode_encrypted_extensions () in
   Transcript.add p.transcript ee;
   flight_emit ctx.s_flight ~label:"EE" (server_encrypt ctx ee);
-  let cert_msg = M.encode_certificate ctx.s_creds.Credentials.chain.Certificate.leaf in
+  let cert_msg =
+    M.encode_certificate_chain
+      (Chain.wire_certs ctx.s_creds.Credentials.chain)
+  in
   Transcript.add p.transcript cert_msg;
   flight_emit ctx.s_flight ~label:"CERT" (server_encrypt ctx cert_msg);
   flight_push_point ctx.s_flight;
@@ -549,16 +552,22 @@ let client_dispatch ctx (p : peer) msg =
       (if ctx.c_resume <> None then `Finished else `Certificate);
     finish_step p
   | `Certificate, Wire.Handshake_type.Certificate ->
-    let cert = M.decode_certificate msg in
-    charge p.host (sig_costs cfg).Pqc.Costs.verify @@ fun () ->
-    (* PKI check: leaf signature under the trusted CA key *)
-    let chain =
-      { Certificate.leaf = cert;
-        ca_public_key = ctx.c_creds.Credentials.chain.Certificate.ca_public_key }
+    let certs = M.decode_certificate_chain msg in
+    let local = ctx.c_creds.Credentials.chain in
+    (* PKI check: walk the received chain up to the trust anchor, one
+       verification per level, each charged at its issuing SA's cost so
+       the Table 3 ledger sees the per-level placement *)
+    let rec charge_levels issuers k =
+      match issuers with
+      | [] -> k ()
+      | (iss : Pqc.Sigalg.t) :: rest ->
+        charge p.host (Pqc.Costs.sig_ iss.Pqc.Sigalg.name).Pqc.Costs.verify
+        @@ fun () -> charge_levels rest k
     in
-    if not (Certificate.verify chain cfg.Config.sig_alg) then
+    charge_levels (Chain.issuer_algs local) @@ fun () ->
+    if not (Chain.verify_against ~local certs) then
       raise (Wire.Decode_error "certificate chain verification failed");
-    ctx.c_server_cert <- Some cert;
+    ctx.c_server_cert <- Some (List.hd certs);
     Transcript.add p.transcript msg;
     ctx.c_expect <- `Cert_verify;
     finish_step p
@@ -667,7 +676,9 @@ let run ?resume ?(early_data = false) ?(issue_ticket = false)
   in
   let client_peer = make_peer client_host client_tcp in
   let server_peer = make_peer server_host server_tcp in
-  let creds = Credentials.get config.Config.sig_alg in
+  let creds =
+    Credentials.get ~profile:config.Config.chain_profile config.Config.sig_alg
+  in
   let client_done_at = ref nan and server_done_at = ref nan in
   let maybe_done_ref = ref (fun () -> ()) in
   let server_ctx =

@@ -259,21 +259,39 @@ let ee_early_data_accepted msg =
   W.Reader.expect_end r;
   find_extension_opt exts 42 <> None
 
-let encode_certificate cert =
-  (* certificate_request_context (empty) + one CertificateEntry with an
-     empty extension list *)
-  let entry = W.vec24 (Certificate.encode cert) ^ W.vec16 "" in
-  W.handshake HT.Certificate (W.vec8 "" ^ W.vec24 entry)
+let encode_certificate_chain certs =
+  (* certificate_request_context (empty) + one CertificateEntry per
+     certificate, leaf first (RFC 8446 section 4.4.2), each carrying an
+     empty per-entry extension list *)
+  let entries =
+    String.concat ""
+      (List.map (fun c -> W.vec24 (Certificate.encode c) ^ W.vec16 "") certs)
+  in
+  W.handshake HT.Certificate (W.vec8 "" ^ W.vec24 entries)
 
-let decode_certificate msg =
+let encode_certificate cert = encode_certificate_chain [ cert ]
+
+let decode_certificate_chain msg =
   if handshake_type msg <> HT.Certificate then
     raise (W.Decode_error "not a Certificate");
   let r = W.Reader.of_string (body msg) in
   let _ctx = W.Reader.vec8 r in
   let entries = W.Reader.of_string (W.Reader.vec24 r) in
-  let cert = Certificate.decode (W.Reader.vec24 entries) in
-  let _exts = W.Reader.vec16 entries in
-  cert
+  let rec entry_loop acc =
+    if W.Reader.remaining entries = 0 then List.rev acc
+    else
+      let cert = Certificate.decode (W.Reader.vec24 entries) in
+      let _exts = W.Reader.vec16 entries in
+      entry_loop (cert :: acc)
+  in
+  match entry_loop [] with
+  | [] -> raise (W.Decode_error "Certificate: empty certificate_list")
+  | certs -> certs
+
+let decode_certificate msg =
+  match decode_certificate_chain msg with
+  | [ cert ] -> cert
+  | _ -> raise (W.Decode_error "Certificate: expected a single entry")
 
 let encode_certificate_verify cv =
   W.handshake HT.Certificate_verify

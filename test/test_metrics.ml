@@ -267,6 +267,63 @@ let test_mix_cells_in_artifact () =
       > 0.)
   | _ -> Alcotest.fail "expected exactly the three mix cells")
 
+(* ---- chain cells (Table 7) ---------------------------------------------------- *)
+
+let chain_grid seed =
+  List.map
+    (fun p ->
+      Experiment.spec ~seed ~max_samples:10 ~chain:p (kem "kyber768")
+        (sa "dilithium3"))
+    [ Tls.Chain_profile.default;
+      Tls.Chain_profile.find "slhdsa-root";
+      Tls.Chain_profile.find "mixed-acme" ]
+
+let chain_artifact_string ~jobs ~seed =
+  let exec = Exec.create ~jobs () in
+  let results = Exec.cells exec (chain_grid seed) in
+  Alcotest.(check int) "all cells ok" 3
+    (List.length (List.filter Result.is_ok results));
+  Metrics.to_json_string (Metrics.artifact exec.Exec.metrics ~seed)
+
+let test_chain_cells_in_artifact () =
+  (* the default profile is the identity: same fingerprint as a pre-chain
+     spec, so historical cache entries and artifacts keep matching *)
+  let sp = Experiment.spec ~seed:"chain-id" (kem "x25519") (sa "rsa:2048") in
+  let sp_default =
+    Experiment.spec ~seed:"chain-id" ~chain:Tls.Chain_profile.default
+      (kem "x25519") (sa "rsa:2048")
+  in
+  Alcotest.(check string) "default profile keeps the pre-chain fingerprint"
+    (Experiment.spec_fingerprint sp)
+    (Experiment.spec_fingerprint sp_default);
+  let seed = "metrics-chain" in
+  let a1 = chain_artifact_string ~jobs:1 ~seed in
+  let a4 = chain_artifact_string ~jobs:4 ~seed in
+  Alcotest.(check string) "jobs=1 and jobs=4 byte-identical" a1 a4;
+  let p = parse_artifact a1 in
+  Alcotest.(check int) "three cells" 3 (List.length p.Metrics.p_cells);
+  Alcotest.(check (list string)) "self-diff is clean" []
+    (Metrics.diff p (parse_artifact a4));
+  let has c k = List.mem_assoc k c.Metrics.p_metrics in
+  match p.Metrics.p_cells with
+  | [ default_cell; slhdsa; mixed ] ->
+    (* only the non-default cells grow the chain block *)
+    Alcotest.(check bool) "default cell has no chain block" false
+      (has default_cell "data.chain.wire_bytes");
+    List.iter
+      (fun (c : Metrics.p_cell) ->
+        Alcotest.(check bool) (c.Metrics.p_key ^ " is not standard") false
+          c.Metrics.p_standard;
+        Alcotest.(check bool) (c.Metrics.p_key ^ " carries chain totals") true
+          (has c "data.chain.wire_bytes" && has c "data.chain.verify_ms"))
+      [ slhdsa; mixed ];
+    let v c k = List.assoc k c.Metrics.p_metrics in
+    (* mixed-acme is one level deeper than slhdsa-root: strictly more
+       certificate bytes must cross the wire *)
+    Alcotest.(check bool) "deeper chain costs more wire" true
+      (v mixed "data.chain.wire_bytes" > v slhdsa "data.chain.wire_bytes")
+  | _ -> Alcotest.fail "expected exactly the three chain cells"
+
 (* ---- drift detection --------------------------------------------------------- *)
 
 let perturb ~cell_key ~metric ~factor (a : Metrics.p_artifact) =
@@ -389,6 +446,8 @@ let suites =
           test_cell_identity_rules;
         Alcotest.test_case "mix cells: identity, split, byte-identity" `Slow
           test_mix_cells_in_artifact;
+        Alcotest.test_case "chain cells: identity, totals, byte-identity" `Slow
+          test_chain_cells_in_artifact;
         Alcotest.test_case "diff: drift, tolerance, missing cells" `Slow
           test_diff_catches_drift;
         Alcotest.test_case "failed cells serialize and diff" `Quick

@@ -77,6 +77,85 @@ let test_certificate_roundtrip () =
   in
   Alcotest.(check bool) "tampered subject" false (Tls.Certificate.verify bad alg)
 
+(* ---- certificate hierarchies --------------------------------------------------- *)
+
+let test_chain_codec () =
+  let profile = Tls.Chain_profile.find "mixed-acme" in
+  let rng = Crypto.Drbg.create ~seed:"chain-codec" in
+  let chain, _ = Tls.Chain.make profile ~leaf:(sa "dilithium2") rng in
+  let certs = Tls.Chain.wire_certs chain in
+  Alcotest.(check int) "leaf + two intermediates on the wire" 3
+    (List.length certs);
+  let enc = Tls.Messages.encode_certificate_chain certs in
+  Alcotest.(check bool) "chain codec roundtrip" true
+    (Tls.Messages.decode_certificate_chain enc = certs);
+  (* the single-leaf encoder is the 1-entry chain encoder, byte for byte:
+     the default profile's Certificate message cannot move *)
+  let leaf = Tls.Chain.leaf chain in
+  Alcotest.(check string) "leaf encoder == 1-entry chain"
+    (Tls.Messages.encode_certificate_chain [ leaf ])
+    (Tls.Messages.encode_certificate leaf);
+  (* the level accounting matches what actually gets encoded *)
+  Alcotest.(check int) "wire_bytes matches encoded entries"
+    (List.fold_left
+       (fun a c ->
+         a + String.length (Tls.Certificate.encode c) + Tls.Chain.entry_overhead)
+       0 certs)
+    (Tls.Chain.wire_bytes chain);
+  Alcotest.check_raises "empty certificate_list rejected"
+    (Tls.Wire.Decode_error "Certificate: empty certificate_list") (fun () ->
+      ignore
+        (Tls.Messages.decode_certificate_chain
+           (Tls.Messages.encode_certificate_chain [])))
+
+let test_chain_verify () =
+  let profile = Tls.Chain_profile.find "mixed-acme" in
+  let make seed =
+    fst (Tls.Chain.make profile ~leaf:(sa "dilithium2") (Crypto.Drbg.create ~seed))
+  in
+  let chain = make "chain-verify" in
+  Alcotest.(check bool) "full chain verifies" true (Tls.Chain.verify chain);
+  let certs = Tls.Chain.wire_certs chain in
+  let nth_map i f = List.mapi (fun j c -> if j = i then f c else c) certs in
+  let flip s =
+    String.mapi (fun i c -> if i = 0 then Char.chr (Char.code c lxor 1) else c) s
+  in
+  let ok cs = Tls.Chain.verify_against ~local:chain cs in
+  Alcotest.(check bool) "tampered intermediate signature" false
+    (ok
+       (nth_map 1 (fun c ->
+            { c with Tls.Certificate.signature = flip c.Tls.Certificate.signature })));
+  Alcotest.(check bool) "wrong-level SA" false
+    (ok (nth_map 1 (fun c -> { c with Tls.Certificate.algorithm = "rsa:2048" })));
+  Alcotest.(check bool) "truncated chain" false
+    (ok (match certs with l :: i1 :: _ -> [ l; i1 ] | _ -> assert false));
+  (* a structurally identical chain under a different root: every inner
+     signature is self-consistent, only the trust anchor disagrees *)
+  let other = make "chain-verify-other" in
+  Alcotest.(check bool) "other chain self-verifies" true (Tls.Chain.verify other);
+  Alcotest.(check bool) "unknown root rejected" false
+    (ok (Tls.Chain.wire_certs other))
+
+let test_chain_default_identity () =
+  (* the default profile must reproduce Certificate.make_chain exactly:
+     same DRBG draws, same lone leaf, same anchor, same server keypair *)
+  let alg = sa "dilithium2" in
+  let legacy, legacy_kp =
+    Tls.Certificate.make_chain alg (Crypto.Drbg.create ~seed:"cert")
+  in
+  let chain, kp =
+    Tls.Chain.make Tls.Chain_profile.default ~leaf:alg
+      (Crypto.Drbg.create ~seed:"cert")
+  in
+  Alcotest.(check bool) "same leaf" true
+    (Tls.Chain.leaf chain = legacy.Tls.Certificate.leaf);
+  Alcotest.(check bool) "same anchor" true
+    (chain.Tls.Chain.anchor_key = legacy.Tls.Certificate.ca_public_key);
+  Alcotest.(check bool) "same server keypair" true (kp = legacy_kp);
+  Alcotest.(check bool) "single wire entry" true
+    (List.length (Tls.Chain.wire_certs chain) = 1);
+  Alcotest.(check bool) "verifies" true (Tls.Chain.verify chain)
+
 (* ---- record protection ------------------------------------------------------- *)
 
 let test_record_protection () =
@@ -302,7 +381,8 @@ type hs_outcome = {
   server_bytes : int;
 }
 
-let run_handshake ?(buffering = Tls.Config.Optimized_push) ~real kem_name sig_name =
+let run_handshake ?(buffering = Tls.Config.Optimized_push) ?chain_profile ~real
+    kem_name sig_name =
   let engine = Netsim.Engine.create () in
   let trace = Netsim.Tap.create () in
   let rng = Crypto.Drbg.create ~seed:"tls-hs" in
@@ -314,7 +394,7 @@ let run_handshake ?(buffering = Tls.Config.Optimized_push) ~real kem_name sig_na
   let server_host = Netsim.Host.create engine ~name:"server" in
   let config =
     (if real then Tls.Config.make else Tls.Config.mocked)
-      ~buffering (kem kem_name) (sa sig_name)
+      ~buffering ?chain_profile (kem kem_name) (sa sig_name)
   in
   let result = ref None in
   Tls.Handshake.run ~engine ~link ~tcp_config:Netsim.Tcp.default_config
@@ -452,6 +532,47 @@ let test_mocked_equals_real () =
     [ ("x25519", "rsa:2048"); ("kyber768", "dilithium3");
       ("bikel1", "sphincs128"); ("p384_kyber768", "p384_dilithium3") ]
 
+let test_chain_handshakes () =
+  (* every chain profile completes a handshake *)
+  List.iter
+    (fun (p : Tls.Chain_profile.t) ->
+      ignore (run_handshake ~real:false ~chain_profile:p "x25519" "rsa:2048"))
+    Tls.Chain_profile.all;
+  (* an explicit default profile is byte- and time-identical to omitting
+     the argument: Tables 2-6 cannot move *)
+  let plain = run_handshake ~real:false "kyber768" "dilithium3" in
+  let explicit =
+    run_handshake ~real:false ~chain_profile:Tls.Chain_profile.default
+      "kyber768" "dilithium3"
+  in
+  Alcotest.(check bool) "explicit default == no profile" true (plain = explicit);
+  (* intermediates ride in the server flight and cost wire bytes *)
+  let deep =
+    run_handshake ~real:false
+      ~chain_profile:(Tls.Chain_profile.find "mixed-acme") "kyber768"
+      "dilithium3"
+  in
+  Alcotest.(check bool) "intermediates cost server bytes" true
+    (deep.server_bytes > plain.server_bytes + 5000);
+  (* per-level verification CPU lands on the client's clock *)
+  Alcotest.(check bool) "chain verification costs client time" true
+    (deep.part_b > plain.part_b)
+
+let test_chain_mocked_equals_real () =
+  (* the campaign invariant holds on every non-default shape *)
+  List.iter
+    (fun pname ->
+      let profile = Tls.Chain_profile.find pname in
+      let a = run_handshake ~real:true ~chain_profile:profile "kyber768" "dilithium3" in
+      let b = run_handshake ~real:false ~chain_profile:profile "kyber768" "dilithium3" in
+      Alcotest.(check (float 1e-9)) (pname ^ " partA invariant") a.part_a b.part_a;
+      Alcotest.(check (float 1e-9)) (pname ^ " partB invariant") a.part_b b.part_b;
+      Alcotest.(check int) (pname ^ " client bytes invariant") a.client_bytes
+        b.client_bytes;
+      Alcotest.(check int) (pname ^ " server bytes invariant") a.server_bytes
+        b.server_bytes)
+    [ "classical-shape"; "slhdsa-root"; "mixed-acme" ]
+
 let test_buffering_modes () =
   (* default buffering withholds the SH until the whole flight is ready
      (for a small flight), so partA grows by roughly the signing time *)
@@ -514,6 +635,10 @@ let suites =
         Alcotest.test_case "client hello codec" `Quick test_client_hello_roundtrip;
         Alcotest.test_case "server hello codec" `Quick test_server_hello_roundtrip;
         Alcotest.test_case "certificate chain" `Quick test_certificate_roundtrip;
+        Alcotest.test_case "chain codec" `Quick test_chain_codec;
+        Alcotest.test_case "chain verification" `Quick test_chain_verify;
+        Alcotest.test_case "chain default identity" `Quick
+          test_chain_default_identity;
         Alcotest.test_case "record protection" `Quick test_record_protection;
         Alcotest.test_case "null records" `Quick test_null_records;
         Alcotest.test_case "key schedule" `Quick test_key_schedule;
@@ -534,6 +659,9 @@ let suites =
           test_handshake_completes_everywhere;
         Alcotest.test_case "real-crypto handshakes" `Slow test_real_handshakes;
         Alcotest.test_case "mocked == real invariant" `Slow test_mocked_equals_real;
+        Alcotest.test_case "chain-profile handshakes" `Quick test_chain_handshakes;
+        Alcotest.test_case "chain mocked == real" `Slow
+          test_chain_mocked_equals_real;
         Alcotest.test_case "buffering modes" `Quick test_buffering_modes;
         Alcotest.test_case "sizes scale with algorithms" `Quick
           test_handshake_sizes_scale ] ) ]
