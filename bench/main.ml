@@ -6,6 +6,7 @@
      dune exec bench/main.exe micro      -- microbenchmarks only
      dune exec bench/main.exe -- -j 8 table4a   -- shard cells over 8 domains
      dune exec bench/main.exe -- --seed s2 table2a   -- reseed the campaign
+     dune exec bench/main.exe -- --profile p.json    -- wall-clock profile artifact
 *)
 
 (* campaign seed, overridable with --seed; every target reads it through
@@ -133,46 +134,46 @@ let () =
   (* [--seed S], [-j N], [--cache DIR], [--retries N] and
      [-k|--keep-going] apply to every campaign target; the remaining
      arguments name targets, default all *)
-  let rec parse jobs cache retries keep_going metrics = function
+  let rec parse jobs cache retries keep_going metrics profile = function
     | ("-j" | "--jobs") :: n :: rest ->
-      parse (int_of_string_opt n) cache retries keep_going metrics rest
+      parse (int_of_string_opt n) cache retries keep_going metrics profile rest
     | "--seed" :: s :: rest ->
       seed_ref := s;
-      parse jobs cache retries keep_going metrics rest
+      parse jobs cache retries keep_going metrics profile rest
     | "--cache" :: dir :: rest ->
-      parse jobs (Some dir) retries keep_going metrics rest
+      parse jobs (Some dir) retries keep_going metrics profile rest
     | "--retries" :: n :: rest ->
-      parse jobs cache (int_of_string_opt n) keep_going metrics rest
+      parse jobs cache (int_of_string_opt n) keep_going metrics profile rest
     | ("-k" | "--keep-going") :: rest ->
-      parse jobs cache retries true metrics rest
+      parse jobs cache retries true metrics profile rest
     | "--metrics" :: file :: rest ->
-      parse jobs cache retries keep_going (Some file) rest
-    | names -> (jobs, cache, retries, keep_going, metrics, names)
+      parse jobs cache retries keep_going (Some file) profile rest
+    | "--profile" :: file :: rest ->
+      parse jobs cache retries keep_going metrics (Some file) rest
+    | names -> (jobs, cache, retries, keep_going, metrics, profile, names)
   in
-  let jobs, cache_dir, retries, keep_going, metrics_out, requested =
-    parse None None None false None (List.tl (Array.to_list Sys.argv))
+  let jobs, cache_dir, retries, keep_going, metrics_out, profile_out, requested
+      =
+    parse None None None false None None (List.tl (Array.to_list Sys.argv))
   in
   exec := Core.Exec.create ?jobs ?cache_dir ?retries ();
   let requested =
-    match requested with [] -> List.map fst targets | names -> names
+    (* --profile with no explicit targets runs only the profile; naming
+       targets alongside it runs both *)
+    match requested with
+    | [] when profile_out <> None -> []
+    | [] -> List.map fst targets
+    | names -> names
   in
   List.iter
     (fun name ->
       match List.assoc_opt name targets with
       | Some f ->
         Printf.printf "==> %s\n%!" name;
-        let t0 =
-          (Unix.gettimeofday () [@lint.allow "D1" "wall time of the whole \
-                                                   target, printed for the \
-                                                   operator"])
-        in
+        let t0 = Core.Clock.now_s () in
         f ();
         Printf.printf "    (%s finished in %.1f s wall, %d jobs)\n\n%!" name
-          ((Unix.gettimeofday () [@lint.allow "D1" "wall time of the whole \
-                                                    target, printed for \
-                                                    the operator"])
-          -. t0)
-          !exec.Core.Exec.jobs
+          (Core.Clock.elapsed_s t0) !exec.Core.Exec.jobs
       | None ->
         Printf.eprintf "unknown target %s; available: %s\n" name
           (String.concat " " (List.map fst targets));
@@ -187,5 +188,18 @@ let () =
     close_out oc;
     Printf.eprintf "wrote %s (%d cells)\n%!" path
       (List.length artifact.Core.Metrics.a_cells));
+  (match profile_out with
+  | None -> ()
+  | Some path ->
+    Printf.printf "==> profile\n%!";
+    let t0 = Core.Clock.now_s () in
+    let artifact = Core.Profile.run ?jobs ~seed:(seed ()) () in
+    let oc = open_out path in
+    output_string oc (Core.Profile.to_json_string artifact);
+    close_out oc;
+    Printf.eprintf "wrote %s (%d ops)\n%!" path
+      (List.length artifact.Core.Profile.pa_ops);
+    Printf.printf "    (profile finished in %.1f s wall)\n\n%!"
+      (Core.Clock.elapsed_s t0));
   Printf.eprintf "%s\n%!" (Core.Exec.health_summary !exec);
   if Core.Exec.failed_count !exec > 0 && not keep_going then exit 1

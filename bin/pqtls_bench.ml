@@ -59,7 +59,7 @@ let list_cmd =
     let whats =
       [ ("experiments", `Experiments); ("kas", `Kas); ("sas", `Sas);
         ("scenarios", `Scenarios); ("workloads", `Workloads);
-        ("mixes", `Mixes); ("chains", `Chains) ]
+        ("mixes", `Mixes); ("chains", `Chains); ("ops", `Ops) ]
     in
     Arg.(
       value
@@ -67,8 +67,9 @@ let list_cmd =
       & info [] ~docv:"WHAT"
           ~doc:
             "What to list: $(b,experiments) (default), $(b,kas), \
-             $(b,sas), $(b,scenarios), $(b,workloads), $(b,mixes), or \
-             $(b,chains).")
+             $(b,sas), $(b,scenarios), $(b,workloads), $(b,mixes), \
+             $(b,chains), or $(b,ops) (the profiled-primitive registry \
+             behind $(b,profile)).")
   in
   let json_arg =
     Arg.(
@@ -206,14 +207,36 @@ let list_cmd =
                     ("root", level p.root);
                     ("description", String p.description) ])
               Tls.Chain_profile.all))
+    | `Ops, false ->
+      List.iter
+        (fun (o : Core.Profile.op) ->
+          Printf.printf "%-7s %-28s %d x %-3d  warmup %d\n"
+            (Core.Profile.group_name o.op_group)
+            o.op_name o.op_samples o.op_batch o.op_warmup)
+        (Core.Profile.registry ())
+    | `Ops, true ->
+      emit
+        (List
+           (List.map
+              (fun (o : Core.Profile.op) ->
+                Obj
+                  [ ("name", String o.op_name);
+                    ("group", String (Core.Profile.group_name o.op_group));
+                    ("alg", String o.op_alg);
+                    ("kind", String o.op_kind);
+                    ("samples", Int o.op_samples);
+                    ("batch", Int o.op_batch);
+                    ("warmup", Int o.op_warmup) ])
+              (Core.Profile.registry ())))
   in
   Cmd.v
     (Cmd.info "list"
        ~doc:
          "List the available experiments (Appendix B.6 schema), key \
           agreements, signature algorithms, network scenarios, farm \
-          arrival workloads, resumption workload mixes, or certificate \
-          chain profiles; $(b,--json) emits a machine-readable listing.")
+          arrival workloads, resumption workload mixes, certificate \
+          chain profiles, or profiled primitives; $(b,--json) emits a \
+          machine-readable listing.")
     Term.(const run $ what_arg $ json_arg)
 
 (* ---- run ----------------------------------------------------------------- *)
@@ -619,6 +642,138 @@ let trace_cmd =
       const run $ seed_arg $ kem_arg $ sig_arg $ scenario_arg $ format_arg
       $ out_arg $ max_samples_arg)
 
+(* ---- profile --------------------------------------------------------------- *)
+
+let profile_cmd =
+  let ops_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ops" ] ~docv:"FILTER"
+          ~doc:
+            "Only measure ops whose $(b,group:name) contains $(docv) \
+             (e.g. $(b,kyber512), $(b,sign), $(b,kernel:)); see \
+             $(b,list ops).")
+  in
+  let jobs_arg =
+    let doc =
+      "Domains to shard the micro-benchmarks across. Defaults to 1: \
+       sequential measurement is the most accurate; parallel runs trade \
+       timing fidelity for wall time (the artifact's deterministic shape \
+       is identical either way)."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let format_arg =
+    let formats = [ ("table", `Table); ("json", `Json); ("folded", `Folded) ] in
+    Arg.(
+      value
+      & opt (enum formats) `Table
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: $(b,table) (per-op stats plus the virtual vs \
+             real attribution table), $(b,json) (the versioned \
+             pqtls-bench-profile artifact), or $(b,folded) (folded \
+             stacks weighted by median real time, for flamegraph.pl / \
+             speedscope).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the output to $(docv) instead of stdout.")
+  in
+  let run seed jobs ops format out =
+    let artifact =
+      try Core.Profile.run ~jobs ?ops_filter:ops ~seed ()
+      with Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    in
+    let contents =
+      match format with
+      | `Table -> Core.Profile.render_table artifact
+      | `Json -> Core.Profile.to_json_string artifact
+      | `Folded -> Core.Profile.folded artifact
+    in
+    match out with
+    | None -> print_string contents
+    | Some path ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      Printf.eprintf "wrote %s (%d ops)\n%!" path
+        (List.length artifact.Core.Profile.pa_ops)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Micro-benchmark the real pure-OCaml substrates in host time: \
+          per-KA keygen/encaps/decaps, per-SA keygen/sign/verify and the \
+          shared kernels (Keccak permutation, NTTs, HKDF, SHA-256), with \
+          robust per-op statistics, GC allocation deltas, and a \
+          campaign-attribution table mapping each virtual-cost bucket to \
+          measured real milliseconds. Values are machine-dependent by \
+          design; the artifact's shape is deterministic.")
+    Term.(const run $ seed_arg $ jobs_arg $ ops_arg $ format_arg $ out_arg)
+
+(* ---- compare-profile ------------------------------------------------------- *)
+
+let compare_profile_cmd =
+  let files =
+    let doc = "Profile artifacts written by $(b,profile --format json -o)." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"ARTIFACT" ~doc)
+  in
+  let rel_tol_arg =
+    let doc =
+      "Per-op relative tolerance on the judged metrics (median time, \
+       minor allocation rate), as a fraction."
+    in
+    Arg.(value & opt float 0.25 & info [ "rel-tol" ] ~docv:"FRACTION" ~doc)
+  in
+  let run rel_tol files =
+    let load path =
+      let ic = open_in_bin path in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Core.Profile.of_json_string contents with
+      | Ok a -> a
+      | Error e ->
+        Printf.eprintf "error: %s: %s\n" path e;
+        exit 2
+    in
+    match files with
+    | [ base; cand ] ->
+      let b = load base in
+      let issues = Core.Profile.diff ~rel_tol b (load cand) in
+      if issues = [] then begin
+        Printf.printf "%s and %s agree (%d ops, tol %.0f%%)\n" base cand
+          (List.length b.Core.Profile.q_ops)
+          (rel_tol *. 100.);
+        exit 0
+      end
+      else begin
+        Printf.printf "%s vs %s: %d issue%s:\n" base cand
+          (List.length issues)
+          (if List.length issues = 1 then "" else "s");
+        List.iter (fun i -> Printf.printf "  %s\n" i) issues;
+        exit 1
+      end
+    | _ ->
+      Printf.eprintf "error: compare-profile takes exactly two artifacts\n";
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "compare-profile"
+       ~doc:
+         "Diff two profile artifacts op by op: shape changes (op set, \
+          iteration plans) and drift beyond $(b,--rel-tol) on median \
+          time and minor allocation rate are issues. Exits 1 on drift, \
+          2 on unreadable artifacts. Timings are machine-dependent — \
+          only compare artifacts from comparable machines.")
+    Term.(const run $ rel_tol_arg $ files)
+
 (* ---- algorithms ------------------------------------------------------------ *)
 
 let algorithms_cmd =
@@ -651,4 +806,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; compare_cmd; handshake_cmd; trace_cmd;
-            algorithms_cmd ]))
+            profile_cmd; compare_profile_cmd; algorithms_cmd ]))

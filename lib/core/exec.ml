@@ -43,10 +43,7 @@ let fresh_counters () =
   { c_ok = Atomic.make 0;
     c_retried = Atomic.make 0;
     c_failed = Atomic.make 0;
-    c_started =
-      (Unix.gettimeofday () [@lint.allow "D1" "campaign-health wall clock; \
-                                               stderr summary only, never \
-                                               an artifact"]) }
+    c_started = Clock.now_s () }
 
 let sequential =
   { jobs = 1; cache = None; progress = false; retries = 1; fail_cell = None;
@@ -84,11 +81,9 @@ let attempt_spec spec k =
         Printf.sprintf "%s#retry%d" spec.Experiment.sp_seed k }
 
 let run_cell ?trace t spec =
-  let t0 =
-    (Unix.gettimeofday () [@lint.allow "D1" "cell_error elapsed time is \
-                                             operator telemetry, not part \
-                                             of any artifact"])
-  in
+  (* volatile telemetry only (ce_elapsed_s, cell_wall_s): host time never
+     reaches a deterministic artifact, see Clock *)
+  let t0 = Clock.now_s () in
   let rec attempt k =
     (* a retried attempt restarts the cell from scratch, so its trace
        does too — only the completing attempt's events survive *)
@@ -113,11 +108,7 @@ let run_cell ?trace t spec =
           { ce_message = Printexc.to_string e;
             ce_backtrace = bt;
             ce_attempts = k + 1;
-            ce_elapsed_s =
-              (Unix.gettimeofday () [@lint.allow "D1" "cell_error elapsed \
-                                                       time; telemetry \
-                                                       only"])
-              -. t0 }
+            ce_elapsed_s = Clock.elapsed_s t0 }
       end
   in
   attempt 0
@@ -137,11 +128,7 @@ let cells t specs =
         specs
   in
   let run (spec, trace) =
-    let t0 =
-      (Unix.gettimeofday () [@lint.allow "D1" "cell_wall_s self-telemetry; \
-                                               feeds the health summary \
-                                               only"])
-    in
+    let t0 = Clock.now_s () in
     let result =
       match t.cache with
       | None -> (run_cell ?trace t spec, `Miss)
@@ -161,11 +148,7 @@ let cells t specs =
     (* self-telemetry: volatile (host wall clock, scheduling-dependent),
        so it feeds the registry and the stderr health summary only —
        never the deterministic artifact *)
-    Metrics.observe t.metrics "cell_wall_s"
-      ((Unix.gettimeofday () [@lint.allow "D1" "cell_wall_s self-telemetry; \
-                                                feeds the health summary \
-                                                only"])
-      -. t0);
+    Metrics.observe t.metrics "cell_wall_s" (Clock.elapsed_s t0);
     Metrics.incr t.metrics
       (match snd result with
       | `Hit -> "cells_from_cache"
@@ -228,11 +211,7 @@ let attempt_farm_spec spec k =
         Printf.sprintf "%s#retry%d" spec.Experiment.fa_seed k }
 
 let run_farm_cell t spec =
-  let t0 =
-    (Unix.gettimeofday () [@lint.allow "D1" "cell_error elapsed time is \
-                                             operator telemetry, not part \
-                                             of any artifact"])
-  in
+  let t0 = Clock.now_s () in
   let rec attempt k =
     match
       (match t.fail_cell with
@@ -255,11 +234,7 @@ let run_farm_cell t spec =
           { ce_message = Printexc.to_string e;
             ce_backtrace = bt;
             ce_attempts = k + 1;
-            ce_elapsed_s =
-              (Unix.gettimeofday () [@lint.allow "D1" "cell_error elapsed \
-                                                       time; telemetry \
-                                                       only"])
-              -. t0 }
+            ce_elapsed_s = Clock.elapsed_s t0 }
       end
   in
   attempt 0
@@ -270,11 +245,7 @@ let run_farm_cell t spec =
    dwarf the trace store; the single-pair cells cover tracing needs. *)
 let farm_cells t specs =
   let run spec =
-    let t0 =
-      (Unix.gettimeofday () [@lint.allow "D1" "cell_wall_s self-telemetry; \
-                                               feeds the health summary \
-                                               only"])
-    in
+    let t0 = Clock.now_s () in
     let result =
       match t.cache with
       | None -> (run_farm_cell t spec, `Miss)
@@ -291,11 +262,7 @@ let farm_cells t specs =
           | Error _ -> ());
           (r, `Miss))
     in
-    Metrics.observe t.metrics "cell_wall_s"
-      ((Unix.gettimeofday () [@lint.allow "D1" "cell_wall_s self-telemetry; \
-                                                feeds the health summary \
-                                                only"])
-      -. t0);
+    Metrics.observe t.metrics "cell_wall_s" (Clock.elapsed_s t0);
     Metrics.incr t.metrics
       (match snd result with
       | `Hit -> "cells_from_cache"
@@ -350,9 +317,7 @@ let health_summary t =
      cells: %d fresh, %d cached; cell wall %.1f s total, %.1f s max"
     (ok_count t) (retried_count t) (failed_count t)
     (match cache_summary t with None -> "" | Some line -> "; " ^ line)
-    ((Unix.gettimeofday () [@lint.allow "D1" "campaign-health wall clock; \
-                                              stderr summary only"])
-    -. t.counters.c_started)
+    (Clock.elapsed_s t.counters.c_started)
     (Metrics.counter t.metrics "cells_executed")
     (Metrics.counter t.metrics "cells_from_cache")
     total_wall max_wall

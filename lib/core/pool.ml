@@ -55,17 +55,10 @@ let map ?jobs ?on_done f inputs =
     result
   in
   let timed i =
-    let t0 =
-      (Unix.gettimeofday () [@lint.allow "D1" "per-task elapsed time for \
-                                               the progress callback; \
-                                               display only"])
-    in
+    (* per-task elapsed time for the progress callback; display only *)
+    let t0 = Clock.now_s () in
     let r = f inputs.(i) in
-    finish i r
-      ((Unix.gettimeofday () [@lint.allow "D1" "per-task elapsed time for \
-                                                the progress callback; \
-                                                display only"])
-      -. t0)
+    finish i r (Clock.elapsed_s t0)
   in
   if jobs = 1 || n <= 1 then Array.to_list (Array.init n timed)
   else begin

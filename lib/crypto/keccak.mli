@@ -23,3 +23,9 @@ module Xof : sig
   val squeeze : t -> int -> string
   (** [squeeze t n] produces the next [n] bytes of the output stream. *)
 end
+
+val bench_permutation : unit -> unit -> unit
+(** [bench_permutation ()] builds a deterministically-filled sponge
+    state and returns a thunk applying one Keccak-f[1600] permutation to
+    it in place — the substrate-kernel hook behind [Core.Profile], not
+    part of the hashing API. *)

@@ -5,6 +5,20 @@ let banned =
     "Random.self_init";
     "Random.State.make_self_init" ]
 
+(* The quarantined clock itself ({!Core.Clock}) is legal in the harness
+   layers — core, bin, bench, test — where it feeds telemetry and the
+   profiling artifact, but banned inside the simulation stack, which
+   must stay a pure function of spec and seed. *)
+let clock_reads =
+  [ "Clock.now_s"; "Clock.elapsed_s"; "Clock.time_ms";
+    "Core.Clock.now_s"; "Core.Clock.elapsed_s"; "Core.Clock.time_ms" ]
+
+let sim_dirs =
+  [ "lib/crypto"; "lib/pqc"; "lib/tls"; "lib/netsim"; "lib/trace";
+    "lib/lint" ]
+
+let in_sim path = List.exists (fun dir -> Walk.in_dir ~dir path) sim_dirs
+
 let check sources =
   List.concat_map
     (fun (src : Source.t) ->
@@ -12,16 +26,26 @@ let check sources =
       | Source.Signature _ -> []
       | Source.Structure str ->
         let out = ref [] in
+        let diag ~symbol e msg =
+          out :=
+            Diag.make ~rule:"D1" ~file:src.Source.path ~symbol
+              e.Parsetree.pexp_loc msg
+            :: !out
+        in
         Walk.iter_expressions str (fun ~symbol e ->
             match Walk.ident e with
             | Some path when List.mem path banned ->
-              out :=
-                Diag.make ~rule:"D1" ~file:src.Source.path ~symbol
-                  e.Parsetree.pexp_loc
-                  (path
-                 ^ " reads the wall clock; campaign results must depend \
-                    only on virtual time and the seed")
-                :: !out
+              diag ~symbol e
+                (path
+               ^ " reads the wall clock; campaign results must depend \
+                  only on virtual time and the seed")
+            | Some path
+              when List.mem path clock_reads && in_sim src.Source.path ->
+              diag ~symbol e
+                (path
+               ^ " reads host time inside the simulation stack; only the \
+                  harness layers (lib/core, bin, bench, test) may observe \
+                  the quarantined clock")
             | _ -> ());
         !out)
     sources
@@ -29,6 +53,8 @@ let check sources =
 let rule =
   { Rule.name = "D1";
     synopsis =
-      "wall-clock reads (Unix.gettimeofday, Sys.time, Random.self_init, \
-       ...) are quarantined to annotated health/progress sites";
+      "wall-clock reads are quarantined: the raw primitives \
+       (Unix.gettimeofday, Sys.time, Random.self_init, ...) live only in \
+       the annotated Core.Clock module, and Clock itself is banned in the \
+       simulation layers";
     check }

@@ -532,3 +532,9 @@ let verify p pk ~msg signature =
         Crypto.Bytesx.equal_ct expected c_tilde
       end
   end
+
+(* ---- micro-benchmark kernel hook ----------------------------------------- *)
+
+let bench_ntt () =
+  let p = Array.init n (fun i -> i * 1753 mod q) in
+  fun () -> ignore (ntt p : poly)

@@ -27,3 +27,8 @@ val sign : params -> string -> string -> string
 
 val verify : params -> string -> msg:string -> string -> bool
 (** [verify p pk ~msg signature]. *)
+
+val bench_ntt : unit -> unit -> unit
+(** [bench_ntt ()] returns a thunk running one forward 256-coefficient
+    NTT mod 8380417 over a fixed polynomial — the substrate-kernel hook
+    behind [Core.Profile]. *)

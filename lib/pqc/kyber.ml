@@ -370,3 +370,9 @@ let decaps p sk c =
   let c' = indcpa_encrypt p pk m' coins in
   if Bytesx.equal_ct c c' then p.sym.kdf (k_bar ^ p.sym.h c)
   else p.sym.kdf (z ^ p.sym.h c) (* implicit rejection *)
+
+(* ---- micro-benchmark kernel hook ----------------------------------------- *)
+
+let bench_ntt () =
+  let p = Array.init n (fun i -> i * 17 mod q) in
+  fun () -> ignore (ntt p : poly)

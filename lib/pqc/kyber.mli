@@ -32,3 +32,8 @@ val encaps : params -> Crypto.Drbg.t -> string -> string * string
 val decaps : params -> string -> string -> string
 (** [decaps p sk ct] is the shared secret. Implicit rejection: a corrupt
     ciphertext yields a pseudorandom secret, never an exception. *)
+
+val bench_ntt : unit -> unit -> unit
+(** [bench_ntt ()] returns a thunk running one forward 256-coefficient
+    NTT mod 3329 over a fixed polynomial — the substrate-kernel hook
+    behind [Core.Profile]. *)

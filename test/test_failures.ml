@@ -80,7 +80,7 @@ let test_injected_failure_renders_partial_report () =
 let temp_cache_dir () =
   Filename.concat (Filename.get_temp_dir_name ())
     (Printf.sprintf "pqtls-failures-test-%d-%.0f" (Unix.getpid ())
-       (Unix.gettimeofday () *. 1e6))
+       (Clock.now_s () *. 1e6))
 
 let test_failures_are_not_cached () =
   let dir = temp_cache_dir () in

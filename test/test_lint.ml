@@ -33,6 +33,22 @@ let test_d1 () =
   Alcotest.(check (list string)) "virtual time is clean" []
     (rules_fired (run_with_mli "lib/fixture/d1_good.ml" good))
 
+(* the second half of D1: the quarantined Core.Clock is itself banned in
+   the deterministic simulation layers, while the harness layers (core,
+   bin, bench, test) may observe it freely *)
+let test_d1_clock_scope () =
+  let read = "let stamp () = Clock.now_s ()" in
+  Alcotest.(check (list string)) "clock read in lib/netsim fires" [ "D1" ]
+    (rules_fired (run_with_mli "lib/netsim/d1_clock.ml" read));
+  let qualified = "let stamp t0 = Core.Clock.elapsed_s t0" in
+  Alcotest.(check (list string)) "qualified clock read in lib/trace fires"
+    [ "D1" ]
+    (rules_fired (run_with_mli "lib/trace/d1_clock.ml" qualified));
+  Alcotest.(check (list string)) "lib/core may read the clock" []
+    (rules_fired (run_with_mli "lib/core/d1_clock.ml" read));
+  Alcotest.(check (list string)) "tests may read the clock" []
+    (rules_fired (run [ parse "test/d1_clock.ml" read ]))
+
 let test_d2 () =
   let bad = "let pairs h = Hashtbl.fold (fun k v a -> (k, v) :: a) h []" in
   Alcotest.(check (list string)) "unsorted fold escape fires" [ "D2" ]
@@ -222,6 +238,8 @@ let test_repo_clean () =
 let suites =
   [ ( "lint",
       [ Alcotest.test_case "D1 wall clock" `Quick test_d1;
+        Alcotest.test_case "D1 clock quarantine scope" `Quick
+          test_d1_clock_scope;
         Alcotest.test_case "D2 hash order" `Quick test_d2;
         Alcotest.test_case "C1 constant time" `Quick test_c1;
         Alcotest.test_case "S1 global state" `Quick test_s1;

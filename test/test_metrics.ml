@@ -137,7 +137,7 @@ let test_artifact_cache_identity () =
   let dir =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "pqtls-metrics-test-%d-%.0f" (Unix.getpid ())
-         (Unix.gettimeofday () *. 1e6))
+         (Clock.now_s () *. 1e6))
   in
   let seed = "metrics-cache" in
   let run () =

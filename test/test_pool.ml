@@ -99,7 +99,7 @@ let temp_cache_dir () =
   let dir =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "pqtls-cache-test-%d-%.0f" (Unix.getpid ())
-         (Unix.gettimeofday () *. 1e6))
+         (Clock.now_s () *. 1e6))
   in
   dir
 
