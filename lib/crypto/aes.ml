@@ -1,6 +1,9 @@
 (* FIPS 197. The S-box is computed at start-up from the GF(2^8) inverse
    and affine map rather than pasted as a table; it is checked against
    the two well-known corner values. *)
+[@@@lint.kernel
+  "state and round-key arrays have fixed sizes from FIPS 197; all indices are constants or loop counters bounded by those sizes"]
+
 
 let xtime b =
   let b = b lsl 1 in

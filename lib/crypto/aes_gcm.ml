@@ -1,5 +1,8 @@
 (* SP 800-38D. GF(2^128) elements are (hi, lo) Int64 pairs, bit 0 of the
    field = MSB of [hi], per the GCM bit ordering. *)
+[@@@lint.kernel
+  "block and tag buffers are allocated at their final 16-byte size in the same function as every access"]
+
 
 let tag_size = 16
 

@@ -2,6 +2,9 @@
    so zero is the empty array and [Array.length] orders magnitudes of equal
    top-limb count. 26-bit limbs keep every product and the Knuth-D trial
    quotient inside 63-bit native ints. *)
+[@@@lint.kernel
+  "limb loops run to Array.length of the operand computed in the same function; normalization keeps every access below that bound"]
+
 
 let bits_per_limb = 26
 let base = 1 lsl bits_per_limb

@@ -1,3 +1,6 @@
+[@@@lint.kernel
+  "every loop bound is the length of the same string/bytes taken immediately before the loop; unsafe_to_string covers locally created buffers"]
+
 let hex_digit = "0123456789abcdef"
 
 let to_hex s =

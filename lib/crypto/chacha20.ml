@@ -1,4 +1,7 @@
 (* RFC 8439 ChaCha20. 32-bit words in native ints, masked. *)
+[@@@lint.kernel
+  "16-word state arrays are created with fixed size 16 and every index is a constant 0..15 from the RFC 8439 quarter-round schedule"]
+
 
 let mask = 0xffffffff
 let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask

@@ -7,6 +7,9 @@
    faster, which matters because SHAKE sits on the hot path of Kyber,
    Dilithium, SPHINCS+ and the DRBG. Lane (x, y) lives at index
    [x + 5*y]. *)
+[@@@lint.kernel
+  "lane arrays are fixed size 25 (5x5 state); rho/pi index tables are precomputed permutations of 0..24; rate offsets are bounded by the absorb/squeeze loops"]
+
 
 let m32 = 0xffffffff
 

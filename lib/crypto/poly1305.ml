@@ -1,5 +1,8 @@
 (* RFC 8439 Poly1305 in 5 x 26-bit limbs; all arithmetic fits native int
    on 64-bit platforms (products bounded by 2^58). *)
+[@@@lint.kernel
+  "limb arrays are fixed size 5 and block reads are guarded by the 16-byte chunking loop; unsafe_to_string covers the locally built tag"]
+
 
 let m26 = 0x3ffffff
 

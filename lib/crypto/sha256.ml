@@ -1,5 +1,8 @@
 (* FIPS 180-4 SHA-256/224. 32-bit words live in native ints masked to
    [0, 2^32). *)
+[@@@lint.kernel
+  "message-schedule and state arrays are fixed-size (64/8); unsafe_to_string covers freshly created buffers that never escape mutably"]
+
 
 let k =
   [| 0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;

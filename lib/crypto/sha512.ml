@@ -1,4 +1,7 @@
 (* FIPS 180-4 SHA-512/384 on Int64 lanes. *)
+[@@@lint.kernel
+  "message-schedule and state arrays are fixed-size (80/8); unsafe_to_string covers freshly created buffers that never escape mutably"]
+
 
 let k =
   [| 0x428a2f98d728ae22L; 0x7137449123ef65cdL; 0xb5c0fbcfec4d3b2fL;

@@ -1,6 +1,9 @@
 (* RFC 7748 over the Bignum field arithmetic. Speed is irrelevant here
    (handshake timing is virtual), so the clear ladder wins over limb
    tricks. *)
+[@@@lint.kernel
+  "all buffers are fixed 32-byte keys allocated locally; unsafe_to_string covers bytes that never escape mutably"]
+
 
 let key_size = 32
 

@@ -2,7 +2,10 @@ let rules =
   [ Rule_wallclock.rule;
     Rule_hashtbl_order.rule;
     Rule_consttime.rule;
+    Rule_secret_flow.rule;
     Rule_global_state.rule;
+    Rule_domain_race.rule;
+    Rule_unsafe.rule;
     Rule_interfaces.rule ]
 
 let find_rule name =

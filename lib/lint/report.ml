@@ -1,8 +1,9 @@
-type format = Text | Json
+type format = Text | Json | Sarif
 
 let format_of_string = function
   | "text" -> Some Text
   | "json" -> Some Json
+  | "sarif" -> Some Sarif
   | _ -> None
 
 let json_string buf s =
@@ -77,7 +78,73 @@ let render_json ~files ~errors diags =
   Buffer.add_string buf "]\n}\n";
   Buffer.contents buf
 
-let render fmt ~files ~errors diags =
+(* SARIF 2.1.0, the GitHub code-scanning interchange format: one run,
+   the rule catalog under tool.driver.rules, one result per finding. *)
+let render_sarif ~rules ~errors diags =
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  add "{\n";
+  add "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  add "  \"version\": \"2.1.0\",\n";
+  add "  \"runs\": [\n    {\n";
+  add "      \"tool\": {\n        \"driver\": {\n";
+  add "          \"name\": \"pqtls-lint\",\n";
+  add
+    "          \"informationUri\": \
+     \"https://example.invalid/pqtls-lint\",\n";
+  add "          \"rules\": [";
+  List.iteri
+    (fun i (r : Rule.t) ->
+      add (if i = 0 then "\n" else ",\n");
+      add "            { \"id\": ";
+      json_string buf r.Rule.name;
+      add ", \"shortDescription\": { \"text\": ";
+      json_string buf r.Rule.synopsis;
+      add " },\n              \"fullDescription\": { \"text\": ";
+      json_string buf r.Rule.doc;
+      add " },\n              \"defaultConfiguration\": { \"level\": ";
+      json_string buf (Rule.severity_string r.Rule.severity);
+      add " } }")
+    rules;
+  if rules <> [] then add "\n          ";
+  add "]\n        }\n      },\n";
+  add "      \"results\": [";
+  let level_of d =
+    match
+      List.find_opt (fun (r : Rule.t) -> r.Rule.name = d.Diag.rule) rules
+    with
+    | Some r -> Rule.severity_string r.Rule.severity
+    | None -> "error"
+  in
+  List.iteri
+    (fun i (d : Diag.t) ->
+      add (if i = 0 then "\n" else ",\n");
+      add "        { \"ruleId\": ";
+      json_string buf d.Diag.rule;
+      add ", \"level\": ";
+      json_string buf (level_of d);
+      add ",\n          \"message\": { \"text\": ";
+      json_string buf
+        (if d.Diag.symbol = "" then d.Diag.message
+         else d.Diag.message ^ " (in " ^ d.Diag.symbol ^ ")");
+      add " },\n          \"locations\": [ { \"physicalLocation\": {\n";
+      add "            \"artifactLocation\": { \"uri\": ";
+      json_string buf d.Diag.file;
+      add " },\n            \"region\": { \"startLine\": ";
+      add (string_of_int d.Diag.line);
+      add ", \"startColumn\": ";
+      add (string_of_int (d.Diag.col + 1));
+      add " } } } ]\n        }")
+    diags;
+  if diags <> [] then add "\n      ";
+  add "],\n";
+  add "      \"invocations\": [ { \"executionSuccessful\": ";
+  add (if errors = [] then "true" else "false");
+  add " } ]\n    }\n  ]\n}\n";
+  Buffer.contents buf
+
+let render fmt ~rules ~files ~errors diags =
   match fmt with
   | Text -> render_text ~files ~errors diags
   | Json -> render_json ~files ~errors diags
+  | Sarif -> render_sarif ~rules ~errors diags

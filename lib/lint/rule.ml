@@ -1,5 +1,11 @@
+type severity = Error | Warning
+
 type t = {
   name : string;
+  severity : severity;
   synopsis : string;
+  doc : string;
   check : Source.t list -> Diag.t list;
 }
+
+let severity_string = function Error -> "error" | Warning -> "warning"

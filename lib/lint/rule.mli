@@ -1,10 +1,17 @@
 (** The rule interface: a named check over the whole set of parsed
     sources. Rules see every file at once so project-level properties
-    (like "each [.ml] has an [.mli]") are ordinary rules, not special
-    cases in the engine. *)
+    (like "each [.ml] has an [.mli]", or call-graph reachability) are
+    ordinary rules, not special cases in the engine. *)
+
+type severity = Error | Warning
 
 type t = {
   name : string; (* "D1", "C1", ... *)
+  severity : severity; (* SARIF level; exit codes treat both the same *)
   synopsis : string; (* one line, shown by `pqtls-lint rules` *)
+  doc : string; (* a paragraph, for `rules --json` and SARIF *)
   check : Source.t list -> Diag.t list;
 }
+
+val severity_string : severity -> string
+(** ["error"] / ["warning"] — the SARIF level vocabulary. *)

@@ -50,6 +50,14 @@ let check sources =
 
 let rule =
   { Rule.name = "C1";
+    severity = Rule.Error;
+    doc =
+      "Early-exit byte comparison leaks the position of the first \
+       mismatch through timing. In the cryptographic directories \
+       (lib/crypto, lib/pqc, lib/tls) every String/Bytes equality or \
+       comparison — including polymorphic = on byte-string evidence — \
+       must go through the constant-time Bytesx.equal_ct. C2 extends \
+       this syntactic check with interprocedural taint tracking.";
     synopsis =
       "in lib/{crypto,pqc,tls}: byte-string comparison goes through \
        Bytesx.equal_ct, never String/Bytes.equal or polymorphic =";

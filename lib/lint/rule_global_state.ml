@@ -83,6 +83,14 @@ let check sources =
 
 let rule =
   { Rule.name = "S1";
+    severity = Rule.Error;
+    doc =
+      "Campaigns run on multiple OCaml 5 domains, so module-level \
+       mutable state (ref, Hashtbl.create, Array.make, Buffer.create, \
+       ...) in lib/ is shared by default. Each site must either be \
+       guarded (mutex, atomic, Domain.DLS) or carry an audited \
+       suppression explaining why it is init-once. S2 additionally \
+       follows the call graph to catch unguarded writes.";
     synopsis =
       "module-level mutable state in lib/ (ref, Hashtbl.create, \
        Array.make, ...) must be guarded or explicitly allowlisted";

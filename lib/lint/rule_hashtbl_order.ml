@@ -67,6 +67,12 @@ let check sources =
 
 let rule =
   { Rule.name = "D2";
+    severity = Rule.Error;
+    doc =
+      "Hashtbl iteration order depends on the hash seed and insertion \
+       history, so results of Hashtbl.iter/fold must be sorted at the \
+       producer before they can reach a campaign artifact; otherwise \
+       two identical runs can emit differently-ordered reports.";
     synopsis =
       "Hashtbl.iter/fold results must be sorted at the producer before \
        they can reach an artifact";

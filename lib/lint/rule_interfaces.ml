@@ -33,5 +33,11 @@ let check sources =
 
 let rule =
   { Rule.name = "M1";
+    severity = Rule.Warning;
+    doc =
+      "An .mli seals a module's namespace: without one, every helper \
+       is public API and the dataflow rules lose the guarantee that \
+       secret-bearing internals are reached only through audited entry \
+       points. Every lib/**/*.ml therefore ships with a matching .mli.";
     synopsis = "every lib/**/*.ml is sealed by a matching .mli";
     check }

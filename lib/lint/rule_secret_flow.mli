@@ -1,0 +1,5 @@
+(** Rule C2 — secret-flow taint: key material must not reach a branch,
+    a variable-time comparison, formatted output, an exception payload
+    or a Hashtbl key. See {!Taint} for the analysis itself. *)
+
+val rule : Rule.t

@@ -1,0 +1,85 @@
+open Parsetree
+
+(* U1 — unchecked accesses are confined to reviewed kernels. A module
+   may use Bytes/String/Array.unsafe_* or Obj.magic only when it opens
+   with a floating [@@@lint.kernel "bounds argument"] stating why every
+   index in the file is in range. The annotation is two-way: a kernel
+   marker on a module with no unsafe operations is stale and flagged
+   too, so the set of reviewed kernels never silently grows or rots. *)
+
+let kernel_attr = "lint.kernel"
+
+let unsafe_ident path =
+  match String.split_on_char '.' path with
+  | [ ("Bytes" | "String" | "Array"); f ] ->
+    String.length f > 7 && String.sub f 0 7 = "unsafe_"
+  | [ "Obj"; "magic" ] -> true
+  | _ -> false
+
+let kernel_reason str =
+  List.find_map
+    (fun it ->
+      match it.pstr_desc with
+      | Pstr_attribute a when a.attr_name.Asttypes.txt = kernel_attr -> (
+        match a.attr_payload with
+        | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] ->
+          Some (a.attr_loc, Option.value ~default:"" (Walk.string_const e))
+        | _ -> Some (a.attr_loc, ""))
+      | _ -> None)
+    str
+
+let check sources =
+  List.concat_map
+    (fun (src : Source.t) ->
+      match src.Source.ast with
+      | _ when not (Walk.in_dir ~dir:"lib" src.Source.path) -> []
+      | Source.Signature _ -> []
+      | Source.Structure str ->
+        let uses = ref [] in
+        Walk.iter_expressions str (fun ~symbol e ->
+            match e.pexp_desc with
+            | Pexp_ident { txt; _ } ->
+              let path =
+                Walk.strip_stdlib
+                  (String.concat "." (Longident.flatten txt))
+              in
+              if unsafe_ident path then
+                uses := (symbol, e.pexp_loc, path) :: !uses
+            | _ -> ());
+        let uses = List.rev !uses in
+        (match kernel_reason str with
+        | Some (_, reason) when reason <> "" && uses <> [] -> []
+        | Some (loc, "") ->
+          [ Diag.make ~rule:"U1" ~file:src.Source.path loc
+              "lint.kernel needs a bounds argument: [@@@lint.kernel \
+               \"why every unchecked index in this file is in range\"]" ]
+        | Some (loc, _) ->
+          [ Diag.make ~rule:"U1" ~file:src.Source.path loc
+              "stale [@@@lint.kernel]: this module performs no unsafe \
+               operations; drop the annotation" ]
+        | None ->
+          List.map
+            (fun (symbol, loc, path) ->
+              Diag.make ~rule:"U1" ~file:src.Source.path ~symbol loc
+                (path
+               ^ " outside a reviewed kernel: unchecked accesses are \
+                  allowed only in modules opening with [@@@lint.kernel \
+                  \"bounds argument\"]"))
+            uses))
+    sources
+
+let rule =
+  { Rule.name = "U1";
+    severity = Rule.Error;
+    synopsis =
+      "Bytes/String/Array.unsafe_* and Obj.magic live only in modules \
+       annotated [@@@lint.kernel \"bounds argument\"]";
+    doc =
+      "Unchecked accesses are the fuel of ROADMAP item 1's hot-path \
+       kernels, and they must stay inside small reviewed files. A \
+       module using Bytes.unsafe_*, String.unsafe_*, Array.unsafe_* or \
+       Obj.magic needs a toplevel [@@@lint.kernel \"...\"] annotation \
+       whose payload argues why every index is in bounds; a kernel \
+       annotation on a module with no unsafe operations is flagged as \
+       stale so the reviewed set stays exact.";
+    check }

@@ -1,0 +1,5 @@
+(** Rule U1 — unsafe-code confinement: unchecked accesses are allowed
+    only in modules that open with a [@@@lint.kernel "bounds argument"]
+    annotation, and the annotation must not be stale. *)
+
+val rule : Rule.t

@@ -52,6 +52,14 @@ let check sources =
 
 let rule =
   { Rule.name = "D1";
+    severity = Rule.Error;
+    doc =
+      "Simulated time is the experiment's only clock. Raw wall-clock \
+       primitives (Unix.gettimeofday, Sys.time, Random.self_init, \
+       Unix.time, Mtime) may appear only inside the annotated \
+       Core.Clock module, and Core.Clock itself is banned from the \
+       simulation layers so no measurement can silently depend on the \
+       host machine.";
     synopsis =
       "wall-clock reads are quarantined: the raw primitives \
        (Unix.gettimeofday, Sys.time, Random.self_init, ...) live only in \

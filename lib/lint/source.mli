@@ -18,7 +18,8 @@ exception Parse_error of string * string (* path, rendered message *)
 
 val scan : string list -> string list
 (** Expand files/directories into the sorted list of [.ml]/[.mli] files
-    beneath them, skipping [_build], [.git] and other dotted directories.
+    beneath them, skipping [_build], [lint_fixtures], [.git] and other
+    dotted directories (explicitly named roots are never skipped).
     Paths are returned with [/] separators, duplicates removed. *)
 
 val load_paths : string list -> t list * (string * string) list

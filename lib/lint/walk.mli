@@ -3,6 +3,10 @@
     tracks the enclosing toplevel binding name (the [symbol] reported in
     diagnostics and matched by the allowlist). *)
 
+val strip_stdlib : string -> string
+(** Drop a leading ["Stdlib."] from a dotted path, so explicit and
+    implicit stdlib references normalize to the same name. *)
+
 val ident : Parsetree.expression -> string option
 (** Dotted path of an identifier expression ("Unix.gettimeofday"), with
     any leading "Stdlib." stripped so [Stdlib.compare] and [compare]

@@ -3,6 +3,9 @@
    Products of two canonical coefficients stay below 2^47, so plain
    native-int arithmetic is exact. Structure follows the reference code;
    see kyber.ml for why no Montgomery arithmetic is used. *)
+[@@@lint.kernel
+  "polynomial arrays are fixed size n = 256 and pack loops are bounded by lengths derived from the parameter set"]
+
 
 let n = 256
 let q = 8380417

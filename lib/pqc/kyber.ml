@@ -3,6 +3,9 @@
    q = 3329 every intermediate fits a native int, and handshake timing in
    this project is virtual, so Montgomery/Barrett tricks would only
    obscure the math. Structure follows the reference implementation. *)
+[@@@lint.kernel
+  "polynomial arrays are fixed size n = 256 and pack/unpack loops are bounded by the byte lengths computed from the parameter set"]
+
 
 module Bytesx = Crypto.Bytesx
 

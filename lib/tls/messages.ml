@@ -13,7 +13,7 @@ type client_hello = {
   group : string;
   key_share : string;
   sig_algs : string list;
-  psk : psk_offer option;
+  psk_offer : psk_offer option;
   early_data : bool;
 }
 
@@ -73,7 +73,7 @@ let client_extensions ch =
        session_ticket (35) stub is only advertised on full handshakes:
        offering a real TLS 1.3 PSK alongside a fake empty ticket body
        would be a wire lie. *)
-    (match ch.psk with None -> extension 35 "" | Some _ -> "")
+    (match ch.psk_offer with None -> extension 35 "" | Some _ -> "")
     ^ extension 23 "" ^ extension 22 "" ^ extension 28 "\x40\x01"
   in
   (* group and algorithm names ride in a private extension so the peer
@@ -83,7 +83,7 @@ let client_extensions ch =
   (* pre_shared_key MUST be the last extension (section 4.2.11): the
      binder MAC covers everything before it *)
   let pre_shared_key =
-    match ch.psk with
+    match ch.psk_offer with
     | None -> ""
     | Some p ->
       let identity =
@@ -114,7 +114,7 @@ let encode_client_hello ch =
     ^ W.vec8 "\x00" (* null compression *)
     ^ client_extensions ch
   in
-  (match ch.psk with
+  (match ch.psk_offer with
   | None -> ()
   | Some p ->
     assert (String.length p.psk_binder = 32);
@@ -125,7 +125,7 @@ let encode_client_hello ch =
 let truncated_client_hello ch =
   (* the binder transcript: the encoded CH minus the binders list
      (section 4.2.11.2) *)
-  assert (ch.psk <> None);
+  assert (ch.psk_offer <> None);
   let full = encode_client_hello ch in
   String.sub full 0 (String.length full - binders_length)
 
@@ -175,7 +175,7 @@ let decode_client_hello msg =
   let names = W.Reader.of_string (find_extension exts 0xfd00) in
   let group = W.Reader.vec8 names in
   let sig_algs = String.split_on_char ',' (W.Reader.vec8 names) in
-  let psk =
+  let psk_offer =
     match find_extension_opt exts 41 with
     | None -> None
     | Some body ->
@@ -201,7 +201,7 @@ let decode_client_hello msg =
       Some { psk_identity; psk_obfuscated_age; psk_binder }
   in
   let early_data = find_extension_opt exts 42 <> None in
-  { random; session_id; group; key_share; sig_algs; psk; early_data }
+  { random; session_id; group; key_share; sig_algs; psk_offer; early_data }
 
 let server_extensions sh =
   let supported_versions = extension 43 "\x03\x04" in
@@ -209,11 +209,11 @@ let server_extensions sh =
     extension 51 (Crypto.Bytesx.u16_be 0x0199 ^ W.vec16 sh.sh_key_share)
   in
   (* pre_shared_key: the accepted identity index (always 0 — one offer) *)
-  let psk =
+  let psk_ext =
     if sh.sh_psk_selected then extension 41 (Crypto.Bytesx.u16_be 0) else ""
   in
   let names = extension 0xfd00 (W.vec8 sh.sh_group) in
-  W.vec16 (supported_versions ^ key_share ^ psk ^ names)
+  W.vec16 (supported_versions ^ key_share ^ psk_ext ^ names)
 
 let encode_server_hello sh =
   let body =

@@ -14,7 +14,7 @@ type client_hello = {
   group : string;  (** offered (and pre-computed) key-share group name *)
   key_share : string;
   sig_algs : string list;
-  psk : psk_offer option;  (** a resumption offer (psk_dhe_ke) *)
+  psk_offer : psk_offer option;  (** a resumption offer (psk_dhe_ke) *)
   early_data : bool;  (** 0-RTT offered (only meaningful with [psk]) *)
 }
 

@@ -1,0 +1,6 @@
+(* S2 fixture: a pool task writes module-level mutable state without a
+   mutex. Expected finding count: 1. *)
+
+let cache = Hashtbl.create 16
+let record x = Hashtbl.replace cache x x
+let run xs = Pool.map record xs

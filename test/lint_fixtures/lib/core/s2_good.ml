@@ -1,0 +1,7 @@
+(* S2 fixture: the same pool-reachable write, guarded by Mutex.protect.
+   Expected finding count: 0. *)
+
+let cache = Hashtbl.create 16
+let lock = Mutex.create ()
+let record x = Mutex.protect lock (fun () -> Hashtbl.replace cache x x)
+let run xs = Pool.map record xs

@@ -1,0 +1,4 @@
+(* U1 fixture: unchecked access without a kernel annotation. Expected
+   finding count: 1. *)
+
+let get b i = Bytes.unsafe_get b i

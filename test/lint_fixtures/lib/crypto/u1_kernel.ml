@@ -1,0 +1,6 @@
+[@@@lint.kernel "fixture: the single read below is at constant index 0"]
+
+(* U1 fixture: a reviewed kernel — unsafe access is allowed. Expected
+   finding count: 0. *)
+
+let first b = Bytes.unsafe_get b 0

@@ -1,0 +1,5 @@
+[@@@lint.kernel "fixture: annotation without any unsafe operation"]
+
+(* U1 fixture: a stale kernel marker. Expected finding count: 1. *)
+
+let id x = x

@@ -1,0 +1,12 @@
+(* C2 fixture: each definition below leaks secret-derived data into
+   exactly one sink, so the expected finding count is 5. *)
+
+let helper s = s
+let compare_direct ~psk other = String.equal psk other
+let printf_leak ~binder_key = Printf.printf "bk=%s\n" binder_key
+
+let branch_through_call ~master_secret =
+  match helper master_secret with "" -> 0 | _ -> 1
+
+let table_leak ~ticket_key tbl = Hashtbl.find_opt tbl ticket_key
+let raise_leak ~secret = failwith secret

@@ -1,0 +1,14 @@
+(* C2 fixture: the two approved taint-clearing mechanisms — the
+   constant-time comparator and an audited declassification. Expected
+   finding count: 0. *)
+
+let helper s = s
+let check_mac ~psk other = Crypto.Bytesx.equal_ct psk other
+
+let audited ~ticket_key =
+  match
+    (helper ticket_key
+    [@lint.declassify "fixture: audited declassification site"])
+  with
+  | "" -> 0
+  | _ -> 1

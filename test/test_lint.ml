@@ -181,7 +181,8 @@ let test_rule_selection () =
 let test_report_json () =
   let diags = run [ parse "lib/fixture/j_bad.ml" "let t = Sys.time ()" ] in
   let json =
-    Lint.Report.render Lint.Report.Json ~files:1 ~errors:[] diags
+    Lint.Report.render Lint.Report.Json ~rules:Lint.Engine.rules ~files:1
+      ~errors:[] diags
   in
   List.iter
     (fun needle ->
@@ -193,6 +194,175 @@ let test_report_json () =
          go 0))
     [ "\"schema\": \"pqtls-lint/1\""; "\"rule\": \"D1\""; "\"line\": 1";
       "\"rule\": \"M1\"" ]
+
+let rule name = Option.get (Lint.Engine.find_rule name)
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec go i =
+    i + n <= m && (String.sub haystack i n = needle || go (i + 1))
+  in
+  go 0
+
+let test_c2 () =
+  let c2 = [ rule "C2" ] in
+  let fired path text = rules_fired (run ~rules:c2 [ parse path text ]) in
+  Alcotest.(check (list string)) "seeded param reaching String.equal fires"
+    [ "C2" ]
+    (fired "lib/tls/c2a.ml" "let check ~psk other = String.equal psk other");
+  Alcotest.(check (list string)) "taint survives one call level" [ "C2" ]
+    (fired "lib/tls/c2b.ml"
+       "let helper s = s\n\
+        let f ~master_secret =\n\
+       \  match helper master_secret with \"\" -> 0 | _ -> 1");
+  (* an HKDF output is secret whatever its binding is called *)
+  let hkdf =
+    "let f h x =\n\
+    \  let k = Hkdf.extract h ~salt:\"\" ~ikm:x in\n\
+    \  if k = \"\" then 1 else 0"
+  in
+  Alcotest.(check int) "HKDF output branches fire (compare + if)" 2
+    (List.length (run ~rules:c2 [ parse "lib/tls/c2c.ml" hkdf ]));
+  Alcotest.(check (list string)) "equal_ct clears taint" []
+    (fired "lib/tls/c2d.ml"
+       "let check ~psk other = Crypto.Bytesx.equal_ct psk other");
+  Alcotest.(check (list string)) "declassify annotation clears taint" []
+    (fired "lib/tls/c2e.ml"
+       "let helper s = s\n\
+        let f ~ticket_key =\n\
+       \  match (helper ticket_key [@lint.declassify \"audited\"]) with\n\
+       \  | \"\" -> 0\n\
+       \  | _ -> 1");
+  Alcotest.(check (list string)) "reason-less declassify = LINT + C2"
+    [ "C2"; "LINT" ]
+    (fired "lib/tls/c2f.ml"
+       "let f ~ticket_key =\n\
+       \  match (ticket_key [@lint.declassify]) with \"\" -> 0 | _ -> 1");
+  Alcotest.(check (list string)) "C2 scope stops at the crypto layers" []
+    (fired "lib/netsim/c2g.ml"
+       "let check ~psk other = String.equal psk other")
+
+let test_taint_summaries () =
+  let srcs =
+    [ parse "lib/tls/t_sum.ml"
+        "let derive h x = Hkdf.extract h ~salt:\"\" ~ikm:x\n\
+         let pass x = x\n\
+         let const () = 42" ]
+  in
+  let t = Lint.Taint.analyse (Lint.Symtab.build srcs) in
+  let s q = Option.get (Lint.Taint.summary t q) in
+  Alcotest.(check bool) "HKDF wrapper returns secret" true
+    (s "Tls.T_sum.derive").Lint.Taint.s_ret;
+  Alcotest.(check bool) "identity is not a source" false
+    (s "Tls.T_sum.pass").Lint.Taint.s_ret;
+  Alcotest.(check bool) "identity propagates argument taint" true
+    (s "Tls.T_sum.pass").Lint.Taint.s_arg_to_ret;
+  Alcotest.(check bool) "constants stay pure" false
+    (s "Tls.T_sum.const").Lint.Taint.s_ret;
+  Alcotest.(check bool) "secret_name seeds by suffix" true
+    (Lint.Taint.secret_name "client_hs_secret");
+  Alcotest.(check bool) "secret_name ignores public names" false
+    (Lint.Taint.secret_name "transcript")
+
+let test_callgraph () =
+  let srcs =
+    [ parse "lib/core/cg_a.ml"
+        "let f x = x + 1\nlet g y = f y\nlet r xs = Pool.map f xs";
+      parse "lib/tls/cg_b.ml" "let h z = Core.Cg_a.g z" ]
+  in
+  let syms = Lint.Symtab.build srcs in
+  let cg = Lint.Callgraph.build syms in
+  Alcotest.(check (list string)) "bare-name edge resolves" [ "Core.Cg_a.f" ]
+    (Lint.Callgraph.callees cg "Core.Cg_a.g");
+  Alcotest.(check (list string)) "cross-library edge resolves"
+    [ "Core.Cg_a.g" ]
+    (Lint.Callgraph.callees cg "Tls.Cg_b.h");
+  let reach = Lint.Callgraph.reachable cg [ "Tls.Cg_b.h" ] in
+  Alcotest.(check bool) "reachability is transitive" true
+    (Hashtbl.mem reach "Core.Cg_a.f");
+  Alcotest.(check bool) "unrelated defs are not reachable" false
+    (Hashtbl.mem reach "Core.Cg_a.r");
+  Alcotest.(check (list string)) "Pool.map sites are roots" [ "Core.Cg_a.r" ]
+    (Lint.Callgraph.pool_roots syms);
+  Alcotest.(check bool) "dot rendering is graphviz" true
+    (contains (Lint.Callgraph.to_dot cg) "digraph")
+
+let test_u1 () =
+  let u1 = [ rule "U1" ] in
+  let fired path text = rules_fired (run ~rules:u1 [ parse path text ]) in
+  Alcotest.(check (list string)) "unsafe outside a kernel fires" [ "U1" ]
+    (fired "lib/crypto/u1a.ml" "let get b i = Bytes.unsafe_get b i");
+  Alcotest.(check (list string)) "kernel-annotated module is clean" []
+    (fired "lib/crypto/u1b.ml"
+       "[@@@lint.kernel \"fixture bounds argument\"]\n\
+        let get b i = Bytes.unsafe_get b i");
+  Alcotest.(check (list string)) "stale kernel annotation fires" [ "U1" ]
+    (fired "lib/crypto/u1c.ml"
+       "[@@@lint.kernel \"nothing unsafe here\"]\nlet id x = x");
+  Alcotest.(check (list string)) "reason-less kernel annotation fires"
+    [ "U1" ]
+    (fired "lib/crypto/u1d.ml"
+       "[@@@lint.kernel]\nlet get b i = Bytes.unsafe_get b i");
+  Alcotest.(check (list string)) "U1 scope is lib/ only" []
+    (fired "bench/u1e.ml" "let get b i = Bytes.unsafe_get b i")
+
+let test_s2 () =
+  let s2 = [ rule "S2" ] in
+  let fired path text = rules_fired (run ~rules:s2 [ parse path text ]) in
+  let unmutexed =
+    "let cache = Hashtbl.create 16\n\
+     let record x = Hashtbl.replace cache x x\n\
+     let run xs = Pool.map record xs"
+  in
+  Alcotest.(check (list string)) "pool-reachable unguarded write fires"
+    [ "S2" ]
+    (fired "lib/core/s2a.ml" unmutexed);
+  let mutexed =
+    "let cache = Hashtbl.create 16\n\
+     let lock = Mutex.create ()\n\
+     let record x = Mutex.protect lock (fun () -> Hashtbl.replace cache x x)\n\
+     let run xs = Pool.map record xs"
+  in
+  Alcotest.(check (list string)) "Mutex.protect-guarded write is clean" []
+    (fired "lib/core/s2b.ml" mutexed);
+  let no_pool =
+    "let cache = Hashtbl.create 16\n\
+     let record x = Hashtbl.replace cache x x"
+  in
+  Alcotest.(check (list string)) "writes unreachable from pools are clean"
+    []
+    (fired "lib/core/s2c.ml" no_pool)
+
+let test_sarif () =
+  let diags = run [ parse "lib/fixture/sa_bad.ml" "let t = Sys.time ()" ] in
+  let sarif =
+    Lint.Report.render Lint.Report.Sarif ~rules:Lint.Engine.rules ~files:1
+      ~errors:[] diags
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("sarif contains " ^ needle) true
+        (contains sarif needle))
+    [ "\"version\": \"2.1.0\"";
+      "sarif-2.1.0";
+      "\"ruleId\": \"D1\"";
+      "\"level\": \"error\"";
+      "\"startLine\": 1";
+      "\"id\": \"C2\"" ];
+  Alcotest.(check bool) "sarif format is registered" true
+    (Lint.Report.format_of_string "sarif" = Some Lint.Report.Sarif)
+
+let test_rule_metadata () =
+  List.iter
+    (fun (r : Lint.Rule.t) ->
+      Alcotest.(check bool) (r.Lint.Rule.name ^ " has a doc string") true
+        (String.length r.Lint.Rule.doc > 40))
+    Lint.Engine.rules;
+  Alcotest.(check (list string)) "catalog order"
+    [ "D1"; "D2"; "C1"; "C2"; "S1"; "S2"; "U1"; "M1" ]
+    (List.map (fun (r : Lint.Rule.t) -> r.Lint.Rule.name) Lint.Engine.rules);
+  Alcotest.(check string) "severity vocabulary" "error"
+    (Lint.Rule.severity_string Lint.Rule.Error)
 
 (* The invariant CI enforces with the installed binary: the tree itself
    is clean under the checked-in allowlist. Locate the repo root by
@@ -235,6 +405,35 @@ let test_repo_clean () =
     Alcotest.(check (list string)) "repo-wide clean run" []
       (List.map Lint.Diag.to_string diags)
 
+(* The on-disk fixture corpus CI also checks with the real binary: the
+   exact per-rule finding counts prove each dataflow rule is alive (a
+   silently-dead rule would report 0 everywhere). *)
+let test_fixture_corpus () =
+  match repo_root () with
+  | None -> print_endline "no checkout found; skipping fixture corpus"
+  | Some root ->
+    let dir = Filename.concat root "test/lint_fixtures" in
+    let sources, errors = Lint.Source.load_paths [ dir ] in
+    Alcotest.(check (list (pair string string))) "fixtures parse" [] errors;
+    Alcotest.(check int) "fixture corpus size" 7 (List.length sources);
+    List.iter
+      (fun (name, expected) ->
+        let diags = run ~rules:[ rule name ] sources in
+        Alcotest.(check int)
+          (Printf.sprintf "%s fires %d times on the corpus" name expected)
+          expected (List.length diags);
+        List.iter
+          (fun (d : Lint.Diag.t) ->
+            Alcotest.(check string) "only the selected rule fires" name
+              d.Lint.Diag.rule)
+          diags)
+      [ ("C2", 5); ("U1", 2); ("S2", 1) ];
+    (* recursive scans skip the corpus, so the repo-wide clean run and
+       the blocking CI lint job never see these deliberate findings *)
+    let scanned = Lint.Source.scan [ Filename.concat root "test" ] in
+    Alcotest.(check bool) "scan skips lint_fixtures" false
+      (List.exists (fun p -> contains p "lint_fixtures") scanned)
+
 let suites =
   [ ( "lint",
       [ Alcotest.test_case "D1 wall clock" `Quick test_d1;
@@ -242,12 +441,21 @@ let suites =
           test_d1_clock_scope;
         Alcotest.test_case "D2 hash order" `Quick test_d2;
         Alcotest.test_case "C1 constant time" `Quick test_c1;
+        Alcotest.test_case "C2 secret flow" `Quick test_c2;
+        Alcotest.test_case "taint summaries" `Quick test_taint_summaries;
+        Alcotest.test_case "call graph" `Quick test_callgraph;
         Alcotest.test_case "S1 global state" `Quick test_s1;
+        Alcotest.test_case "S2 domain race" `Quick test_s2;
+        Alcotest.test_case "U1 unsafe confinement" `Quick test_u1;
         Alcotest.test_case "M1 interfaces" `Quick test_m1;
         Alcotest.test_case "attribute suppression" `Quick
           test_attribute_suppression;
         Alcotest.test_case "allowlist file" `Quick test_allowlist_file;
         Alcotest.test_case "rule selection" `Quick test_rule_selection;
         Alcotest.test_case "json report" `Quick test_report_json;
-        Alcotest.test_case "repo-wide clean run" `Quick test_repo_clean ] )
+        Alcotest.test_case "sarif report" `Quick test_sarif;
+        Alcotest.test_case "rule metadata" `Quick test_rule_metadata;
+        Alcotest.test_case "repo-wide clean run" `Quick test_repo_clean;
+        Alcotest.test_case "fixture corpus counts" `Quick
+          test_fixture_corpus ] )
   ]

@@ -38,7 +38,7 @@ let test_client_hello_roundtrip () =
           group = kem_name;
           key_share = kp.Pqc.Kem.public;
           sig_algs = [ "rsa:2048"; "dilithium3" ];
-          psk = None;
+          psk_offer = None;
           early_data = false }
       in
       let enc = Tls.Messages.encode_client_hello ch in
@@ -282,7 +282,7 @@ let make_offer rng ?(binder = String.make 32 '\000') () =
     group = "kyber768";
     key_share = Crypto.Drbg.generate rng 1184;
     sig_algs = [ "rsa:2048" ];
-    psk =
+    psk_offer =
       Some
         { Tls.Messages.psk_identity = Crypto.Drbg.generate rng 150;
           psk_obfuscated_age = 0x11223344;
@@ -303,13 +303,13 @@ let test_psk_client_hello () =
   let full_tys =
     extension_types
       (Tls.Messages.encode_client_hello
-         { ch with Tls.Messages.psk = None; early_data = false })
+         { ch with Tls.Messages.psk_offer = None; early_data = false })
   in
   Alcotest.(check bool) "stub on full handshake" true (List.mem 35 full_tys);
   Alcotest.(check bool) "no psk on full handshake" false (List.mem 41 full_tys);
   (* codec roundtrip preserves the offer *)
   let dec = Tls.Messages.decode_client_hello enc in
-  Alcotest.(check bool) "offer roundtrip" true (dec.Tls.Messages.psk = ch.Tls.Messages.psk);
+  Alcotest.(check bool) "offer roundtrip" true (dec.Tls.Messages.psk_offer = ch.Tls.Messages.psk_offer);
   Alcotest.(check bool) "early_data roundtrip" true dec.Tls.Messages.early_data;
   (* truncation removes exactly the binders list from the end *)
   Alcotest.(check int) "truncation length" (String.length enc - Tls.Messages.binders_length)
@@ -329,9 +329,9 @@ let test_binder_mac () =
      dummy-binder encoding computes the same MAC the final CH carries *)
   let dummy = make_offer rng () in
   let mac = binder_of psk dummy in
-  let final = { dummy with Tls.Messages.psk =
+  let final = { dummy with Tls.Messages.psk_offer =
                   Option.map (fun o -> { o with Tls.Messages.psk_binder = mac })
-                    dummy.Tls.Messages.psk }
+                    dummy.Tls.Messages.psk_offer }
   in
   Alcotest.(check bool) "binder independent of binder bytes" true
     (Tls.Messages.truncated_client_hello final
